@@ -1,0 +1,59 @@
+// Shared helpers for the figure-regeneration benchmarks.
+//
+// Each bench binary reproduces one table or figure from the paper's
+// evaluation (§7): it generates the workload, runs the relevant system
+// components, and prints the same rows/series the paper reports, with
+// the paper's own numbers quoted alongside where available. Absolute
+// values depend on the simulated substrate; the *shape* (who wins,
+// crossover locations, orders of magnitude) is the reproduction target.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/eeg.hpp"
+#include "apps/speech.hpp"
+#include "profile/profiler.hpp"
+
+namespace wishbone::bench {
+
+struct ProfiledSpeech {
+  apps::SpeechApp app;
+  profile::ProfileData pd;
+};
+
+inline ProfiledSpeech profiled_speech(std::size_t frames = 120) {
+  ProfiledSpeech ps{apps::build_speech_app(), {}};
+  profile::Profiler prof(ps.app.g);
+  ps.pd = prof.run(apps::speech_traces(ps.app, frames), frames);
+  ps.app.g.reset_state();
+  return ps;
+}
+
+struct ProfiledEeg {
+  apps::EegApp app;
+  profile::ProfileData pd;
+};
+
+inline ProfiledEeg profiled_eeg(const apps::EegConfig& cfg,
+                                std::size_t windows = 6) {
+  ProfiledEeg pe{apps::build_eeg_app(cfg), {}};
+  profile::Profiler prof(pe.app.g);
+  pe.pd = prof.run(apps::eeg_traces(pe.app, windows), windows);
+  pe.app.g.reset_state();
+  return pe;
+}
+
+inline void header(const std::string& fig, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", fig.c_str(), what.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void paper_note(const std::string& note) {
+  std::printf("paper: %s\n\n", note.c_str());
+}
+
+}  // namespace wishbone::bench

@@ -1,0 +1,35 @@
+// Fig. 3 — the motivating example: the optimal node partition flips
+// shape with small CPU-budget changes, and the optimal cut bandwidth
+// steps 8 -> 6 -> 5 as the budget goes 2 -> 3 -> 4.
+#include "apps/fig3.hpp"
+#include "bench_common.hpp"
+#include "partition/partitioner.hpp"
+
+int main() {
+  using namespace wishbone;
+  bench::header("Figure 3", "budget sweep on the motivating example");
+  bench::paper_note(
+      "budget 2/3/4 -> optimal cut bandwidth 8/6/5; the cut flips "
+      "between horizontal and vertical with small budget changes");
+
+  partition::PartitionProblem p = apps::fig3_problem();
+  std::printf("%8s %12s %10s %s\n", "budget", "bandwidth", "node-cpu",
+              "node partition");
+  for (double budget = 2.0; budget <= 8.0; budget += 1.0) {
+    p.cpu_budget = budget;
+    const auto r = partition::solve_partition(p);
+    if (!r.feasible) {
+      std::printf("%8.0f %12s\n", budget, "infeasible");
+      continue;
+    }
+    std::string members;
+    for (std::size_t v = 0; v < p.num_vertices(); ++v) {
+      if (r.sides[v] == graph::Side::kNode) {
+        members += p.vertices[v].name + " ";
+      }
+    }
+    std::printf("%8.0f %12.1f %10.1f %s\n", budget, r.net_used, r.cpu_used,
+                members.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 5(a) — one EEG channel: number of operators in the optimal node
+// partition as the input data rate sweeps from "everything fits" to
+// "nothing fits", on TMoteSky/TinyOS and NokiaN80/Java.
+//
+// The paper sweeps the rate as a multiple of the base rate with alpha=0,
+// beta=1 (minimize network bandwidth subject to CPU capacity) and sees
+// a staircase: every wavelet stage that falls off the node gives back a
+// data-reduction step.
+#include "bench_common.hpp"
+#include "partition/partitioner.hpp"
+
+int main() {
+  using namespace wishbone;
+  bench::header("Figure 5(a)",
+                "EEG single channel: node-partition size vs input rate");
+  bench::paper_note(
+      "sloping staircase from ~70 operators down to the pinned source "
+      "as rate rises 0-20x; N80 sustains higher rates than the TMote");
+
+  apps::EegConfig cfg;
+  cfg.channels = 1;
+  auto pe = bench::profiled_eeg(cfg);
+  const double base = pe.app.full_rate_events_per_sec();
+
+  const std::vector<profile::PlatformModel> plats = {
+      profile::tmote_sky(), profile::nokia_n80()};
+  std::printf("%10s", "rate(x)");
+  for (const auto& p : plats) std::printf(" %14s", p.name.c_str());
+  std::printf("    (operators in optimal node partition, of %zu)\n",
+              pe.app.g.num_operators());
+
+  for (double mult = 0.25; mult <= 20.0; mult *= 1.3) {
+    std::printf("%10.2f", mult);
+    for (const auto& plat : plats) {
+      const auto r = partition::partition_graph(
+          pe.app.g, pe.pd, plat, base * mult, graph::Mode::kPermissive);
+      if (r.feasible) {
+        std::printf(" %14zu", r.node_partition_size);
+      } else {
+        std::printf(" %14s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

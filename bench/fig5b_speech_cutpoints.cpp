@@ -1,0 +1,60 @@
+// Fig. 5(b) — speech pipeline: for each viable (data-reducing) cut
+// point, the maximum compute-bound input rate each platform sustains,
+// as a multiple of the native 8 kHz rate.
+//
+// Viable cut points after §4.1 preprocessing are source/1, filtbank/7,
+// logs/8 and cepstral/9 (counting node-partition operators). A value
+// below 1.0 means the platform cannot keep up with the full rate.
+#include "bench_common.hpp"
+#include "partition/partitioner.hpp"
+
+int main() {
+  using namespace wishbone;
+  bench::header("Figure 5(b)",
+                "speech: max sustainable rate (x 8 kHz) per cut point");
+  bench::paper_note(
+      "TinyOS ~0.05-0.1x, JavaME ~2x the mote, iPhone ~3x below the "
+      "comparable-clock VoxNet, Scheme/PC orders of magnitude above 1; "
+      "cheaper cut points sustain higher rates on weak platforms");
+
+  auto ps = bench::profiled_speech();
+  const auto order = ps.app.pipeline_order();
+
+  // Cut points of Fig. 5(b): prefix through source(1), filtBank(7),
+  // logs(8), cepstrals(9).
+  struct Cut {
+    const char* label;
+    graph::OperatorId last;
+  };
+  const std::vector<Cut> cuts = {{"source/1", ps.app.source},
+                                 {"filtbank/7", ps.app.filtbank},
+                                 {"logs/8", ps.app.logs},
+                                 {"cepstral/9", ps.app.cepstrals}};
+
+  const std::vector<profile::PlatformModel> plats = {
+      profile::tmote_sky(), profile::nokia_n80(), profile::iphone(),
+      profile::voxnet(), profile::scheme_pc()};
+
+  std::printf("%12s", "cutpoint");
+  for (const auto& p : plats) std::printf(" %12s", p.name.c_str());
+  std::printf("\n");
+
+  for (const auto& cut : cuts) {
+    std::printf("%12s", cut.label);
+    for (const auto& plat : plats) {
+      // Compute-bound rate: CPU budget / per-event work of the prefix.
+      double us_per_event = 0.0;
+      for (graph::OperatorId v : order) {
+        us_per_event += ps.pd.micros_per_event(plat, v);
+        if (v == cut.last) break;
+      }
+      const double max_rate =
+          us_per_event > 0 ? plat.cpu_budget * 1e6 / us_per_event : 1e9;
+      std::printf(" %12.3f",
+                  max_rate / apps::SpeechApp::kFullRateEventsPerSec);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(values < 1.0 cannot sustain the full 8 kHz rate)\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fig. 7 — speech pipeline profile on the TMote Sky: per-operator CPU
+// time per frame (impulses, left log scale in the paper) and the cut
+// bandwidth after each operator (line, right scale).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wishbone;
+  bench::header("Figure 7", "speech profile on TMote Sky");
+  bench::paper_note(
+      "initial frame 400 B; after filter bank 128 B using ~250 ms of "
+      "cumulative processing; after the DCT 52 B at ~2 s cumulative; "
+      "cost rises as bandwidth falls");
+
+  auto ps = bench::profiled_speech();
+  const auto mote = profile::tmote_sky();
+
+  std::printf("%-10s %16s %16s %18s\n", "operator", "us/frame",
+              "cumulative ms", "out bytes/frame");
+  double cum_us = 0.0;
+  for (graph::OperatorId v : ps.app.pipeline_order()) {
+    const double us = ps.pd.micros_per_event(mote, v);
+    cum_us += us;
+    const double bytes =
+        ps.pd.op_bytes_out[v] / static_cast<double>(ps.pd.num_events);
+    std::printf("%-10s %16.1f %16.1f %18.1f\n",
+                ps.app.g.info(v).name.c_str(), us, cum_us / 1000.0, bytes);
+  }
+  std::printf("\nbandwidth at full rate (40 frames/s): raw %.1f kB/s -> "
+              "filtbank %.1f kB/s -> cepstral %.1f kB/s\n",
+              400.0 * 40 / 1000.0, 128.0 * 40 / 1000.0, 52.0 * 40 / 1000.0);
+  return 0;
+}

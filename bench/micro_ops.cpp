@@ -1,0 +1,92 @@
+// Microbenchmarks (google-benchmark): throughput of the hot primitives
+// underneath the figure benches — DSP kernels, the profiler, the
+// Simplex core and end-to-end partitioning. Useful for tracking
+// regressions in the substrate itself.
+#include <benchmark/benchmark.h>
+
+#include "apps/fig3.hpp"
+#include "apps/speech.hpp"
+#include "dsp/dct.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fir.hpp"
+#include "graph/pinning.hpp"
+#include "ilp/simplex.hpp"
+#include "partition/formulation.hpp"
+#include "partition/partitioner.hpp"
+#include "profile/profiler.hpp"
+#include "profile/traces.hpp"
+
+using namespace wishbone;
+
+static void BM_FftMagnitude(benchmark::State& state) {
+  std::vector<float> x(static_cast<std::size_t>(state.range(0)), 0.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::magnitude_spectrum(x));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FftMagnitude)->Arg(256)->Arg(1024)->Arg(4096);
+
+static void BM_FirFilter(benchmark::State& state) {
+  dsp::FirFilter fir(std::vector<float>(
+      static_cast<std::size_t>(state.range(0)), 0.1f));
+  std::vector<float> frame(512, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fir.process(frame));
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_FirFilter)->Arg(4)->Arg(16)->Arg(64);
+
+static void BM_Dct13(benchmark::State& state) {
+  std::vector<float> x(32, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::dct_ii(x, 13));
+  }
+}
+BENCHMARK(BM_Dct13);
+
+static void BM_SpeechTraceGen(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile::traces::speech_trace(40));
+  }
+  state.SetItemsProcessed(state.iterations() * 40 * 200);
+}
+BENCHMARK(BM_SpeechTraceGen);
+
+static void BM_ProfileSpeechApp(benchmark::State& state) {
+  apps::SpeechApp app = apps::build_speech_app();
+  const auto traces = apps::speech_traces(app, 40);
+  for (auto _ : state) {
+    profile::Profiler prof(app.g);
+    benchmark::DoNotOptimize(prof.run(traces, 40));
+    app.g.reset_state();
+  }
+  state.SetItemsProcessed(state.iterations() * 40);
+}
+BENCHMARK(BM_ProfileSpeechApp);
+
+static void BM_SimplexFig3Relaxation(benchmark::State& state) {
+  const auto p = apps::fig3_problem();
+  const auto lp =
+      partition::build_ilp(p, partition::Formulation::kRestricted);
+  ilp::SimplexSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(lp));
+  }
+}
+BENCHMARK(BM_SimplexFig3Relaxation);
+
+static void BM_PartitionSpeechOnMote(benchmark::State& state) {
+  apps::SpeechApp app = apps::build_speech_app();
+  profile::Profiler prof(app.g);
+  const auto pd = prof.run(apps::speech_traces(app, 40), 40);
+  app.g.reset_state();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::partition_graph(
+        app.g, pd, profile::tmote_sky(), 2.0));
+  }
+}
+BENCHMARK(BM_PartitionSpeechOnMote);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Example: validate a chosen cut on the simulated TMote testbed, the
+// way §7.3 validates Wishbone's recommendations: run the partitioned
+// program through the executor (marshal/unmarshal and loss injection
+// included), then measure goodput on deployments of various sizes.
+//
+// Run:  ./deployment_sim [cut 1..6] [nodes]   (default: Wishbone's pick, 20)
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/speech.hpp"
+#include "core/wishbone.hpp"
+#include "net/net_profiler.hpp"
+#include "runtime/deployment.hpp"
+#include "runtime/executor.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wishbone;
+  const std::size_t nodes =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 20;
+
+  apps::SpeechApp app = apps::build_speech_app();
+  profile::Profiler prof(app.g);
+  const auto pd = prof.run(apps::speech_traces(app, 100), 100);
+  app.g.reset_state();
+
+  // Step 1 (§7.3.1): profile the network to size the uplink budget.
+  const auto radio = net::cc2420_radio();
+  const net::TreeTopology topo(nodes);
+  const auto netprof = net::profile_network(radio, topo, 0.9);
+  std::printf("network profile (%zu nodes): max %.0f B/s per node at "
+              "%.0f%% reception\n",
+              nodes, netprof.max_payload_bytes_per_sec,
+              100 * netprof.reception_at_max);
+
+  // Step 2: pick a cut — Wishbone's, or the user's.
+  std::vector<graph::Side> sides;
+  if (argc > 1) {
+    sides = app.assignment_for_cut(
+        static_cast<std::size_t>(std::atoi(argv[1])));
+    std::printf("using user-selected cut %s\n", argv[1]);
+  } else {
+    profile::PlatformModel plat = profile::tmote_sky();
+    plat.radio_bytes_per_sec = netprof.max_payload_bytes_per_sec;
+    core::Wishbone wb(app.g, plat);
+    const auto rep = wb.partition_only(
+        pd, apps::SpeechApp::kFullRateEventsPerSec);
+    sides = rep.partition.sides;
+    std::printf("using Wishbone's cut at %.2f events/s (%s)\n",
+                rep.partition_rate, rep.message.c_str());
+  }
+
+  // Step 3: functional check — run the partitioned program with 10%
+  // radio loss injected and confirm it still produces output.
+  {
+    apps::SpeechApp fresh = apps::build_speech_app();
+    runtime::PartitionedExecutor ex(fresh.g, sides);
+    ex.set_loss_hook([](std::uint64_t i) { return i % 10 != 9; });
+    const auto out = ex.run(apps::speech_traces(fresh, 50), 50);
+    std::printf("functional run: %zu/50 results reached the sink "
+                "(%zu cut frames, %zu lost)\n",
+                out.at(fresh.sink).size(), ex.stats().cut_frames,
+                ex.stats().cut_frames_lost);
+  }
+
+  // Step 4: goodput on deployments of growing size.
+  std::printf("\n%8s %12s %14s %12s\n", "nodes", "input %", "msgs recv %",
+              "goodput %");
+  for (std::size_t n : {std::size_t{1}, std::size_t{5}, std::size_t{10},
+                        std::size_t{20}, std::size_t{50}}) {
+    runtime::DeploymentConfig cfg;
+    cfg.events_per_sec = apps::SpeechApp::kFullRateEventsPerSec;
+    cfg.num_nodes = n;
+    cfg.duration_s = 60.0;
+    cfg.radio = radio;
+    const auto st = runtime::simulate_deployment(
+        app.g, pd, profile::tmote_sky(), sides, cfg);
+    std::printf("%8zu %12.2f %14.2f %12.3f\n", n,
+                100 * st.input_fraction, 100 * st.msg_delivery_fraction,
+                100 * st.goodput_fraction);
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Example: data rate as a free variable (§4.3). When an application
+// cannot fit at its native rate, Wishbone binary-searches the highest
+// sustainable rate and reports the partition to use there — the
+// "interactive design aid" loop of §1, shown across platforms.
+//
+// Run:  ./rate_search
+#include <cstdio>
+
+#include "apps/speech.hpp"
+#include "core/wishbone.hpp"
+#include "profile/platform.hpp"
+
+int main() {
+  using namespace wishbone;
+  apps::SpeechApp app = apps::build_speech_app();
+  profile::Profiler prof(app.g);
+  const auto pd = prof.run(apps::speech_traces(app, 150), 150);
+  app.g.reset_state();
+
+  const double want = apps::SpeechApp::kFullRateEventsPerSec;
+  std::printf("requested rate: %.0f events/s (8 kHz audio)\n\n", want);
+  std::printf("%-10s %10s %16s %s\n", "platform", "fits?",
+              "max rate (ev/s)", "advice");
+  for (const auto& plat : profile::all_platforms()) {
+    core::Wishbone wb(app.g, plat);
+    const auto rep = wb.partition_only(pd, want);
+    if (rep.feasible_at_requested_rate) {
+      std::printf("%-10s %10s %16s run at the native rate\n",
+                  plat.name.c_str(), "yes", "-");
+    } else if (rep.max_sustainable_rate) {
+      std::printf("%-10s %10s %16.2f shed %.0f%% of input or downsample\n",
+                  plat.name.c_str(), "no", *rep.max_sustainable_rate,
+                  100.0 * (1.0 - *rep.max_sustainable_rate / want));
+    } else {
+      std::printf("%-10s %10s %16s pick a more capable platform\n",
+                  plat.name.c_str(), "no", "none");
+    }
+  }
+  return 0;
+}

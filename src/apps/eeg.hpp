@@ -1,0 +1,66 @@
+// The EEG seizure-onset detection application (§6.1): 22 channels at
+// 256 Hz, 2-second windows, a 7-level polyphase wavelet decomposition
+// per channel with band energies from the last three levels, and a
+// patient-specific linear SVM over the 66-element feature vector that
+// declares a seizure after three consecutive positive windows.
+//
+// Per-channel operator structure (Fig. 1's combinators):
+//   src -> window -> preGain
+//       -> LowFreqFilter^7  (each = GetEven, GetOdd, FIR, FIR, Add)
+//       -> HighFreqFilter x3 off the last three levels
+//       -> [MagWithScale -> energy -> smooth] per band
+//       -> zipN -> normalize
+// and globally: zipAll(22) -> SVM -> detect -> main.
+//
+// With 22 channels this instantiates 22*64 + 4 = 1412 operators — the
+// paper's "worst case scenario — partitioning all 22-channels (1412
+// operators)" (§7.1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "profile/traces.hpp"
+
+namespace wishbone::apps {
+
+using graph::Frame;
+using graph::Graph;
+using graph::OperatorId;
+
+struct EegConfig {
+  std::size_t channels = 22;
+  std::size_t levels = 7;          ///< wavelet cascade depth
+  std::size_t energy_bands = 3;    ///< high bands kept (last N levels)
+  std::size_t window_samples = 512;  ///< 2 s at 256 Hz
+  double sample_rate_hz = 256.0;
+  std::uint32_t trace_seed = 7;
+};
+
+struct EegApp {
+  Graph g;
+  EegConfig cfg;
+  std::vector<OperatorId> sources;  ///< one per channel
+  OperatorId svm = 0;
+  OperatorId detect = 0;
+  OperatorId sink = 0;
+
+  /// Native window rate: one 2-second window every 2 s (§6.1).
+  [[nodiscard]] double full_rate_events_per_sec() const {
+    return cfg.sample_rate_hz / static_cast<double>(cfg.window_samples);
+  }
+};
+
+/// Builds the application with working operator implementations.
+[[nodiscard]] EegApp build_eeg_app(const EegConfig& cfg = {});
+
+/// Synthetic patient traces: one per channel, sharing seizure episodes.
+[[nodiscard]] std::map<OperatorId, std::vector<Frame>> eeg_traces(
+    const EegApp& app, std::size_t num_windows);
+
+/// Expected operator count for a config (exported for tests).
+[[nodiscard]] std::size_t eeg_expected_operators(const EegConfig& cfg);
+
+}  // namespace wishbone::apps

@@ -1,0 +1,43 @@
+#include "apps/fig3.hpp"
+
+namespace wishbone::apps {
+
+partition::PartitionProblem fig3_problem() {
+  using partition::PartitionProblem;
+  using partition::ProblemEdge;
+  using partition::ProblemVertex;
+  using graph::Requirement;
+
+  PartitionProblem p;
+  auto add = [&](const char* name, double cpu, Requirement req) {
+    ProblemVertex v;
+    v.name = name;
+    v.cpu = cpu;
+    v.req = req;
+    p.vertices.push_back(std::move(v));
+    return p.vertices.size() - 1;
+  };
+
+  const auto s1 = add("s1", 0.0, Requirement::kNode);
+  const auto s2 = add("s2", 0.0, Requirement::kNode);
+  const auto a1 = add("a1", 3.0, Requirement::kMovable);
+  const auto a2 = add("a2", 1.0, Requirement::kMovable);
+  const auto b1 = add("b1", 3.0, Requirement::kMovable);
+  const auto b2 = add("b2", 1.0, Requirement::kMovable);
+  const auto t = add("t", 0.0, Requirement::kServer);
+
+  p.edges = {
+      ProblemEdge{s1, a1, 4.0}, ProblemEdge{a1, a2, 2.0},
+      ProblemEdge{a2, t, 1.0},  ProblemEdge{s2, b1, 4.0},
+      ProblemEdge{b1, b2, 2.0}, ProblemEdge{b2, t, 1.0},
+  };
+
+  p.cpu_budget = 2.0;
+  p.net_budget = 1e18;  // unconstrained; the example stresses CPU
+  p.alpha = 0.0;
+  p.beta = 1.0;
+  p.check();
+  return p;
+}
+
+}  // namespace wishbone::apps

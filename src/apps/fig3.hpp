@@ -1,0 +1,22 @@
+// The motivating example of Fig. 3: a small operator graph whose
+// optimal node partition flips between a "horizontal" and a "vertical"
+// shape as the CPU budget moves from 2 to 4, with the optimal cut
+// bandwidth falling 8 -> 6 -> 5.
+//
+// Reconstruction: two sensor chains of two processing stages each. The
+// raw streams are expensive to ship (bandwidth 4 each); the first stage
+// halves the data (bandwidth 2), the second halves it again (bandwidth
+// 1). Stage CPU costs are chosen so a budget of 2 fits one deep chain
+// prefix (vertical), 3 fits one deep chain plus one shallow stage, and
+// 4 fits both first stages (horizontal).
+#pragma once
+
+#include "partition/problem.hpp"
+
+namespace wishbone::apps {
+
+/// Vertex/edge weights are abstract units, exactly as in the figure.
+/// cpu_budget is left at 2; benchmarks sweep it.
+[[nodiscard]] partition::PartitionProblem fig3_problem();
+
+}  // namespace wishbone::apps

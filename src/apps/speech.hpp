@@ -1,0 +1,71 @@
+// The acoustic speech detection application (§6.2): a linear pipeline
+// computing Mel Frequency Cepstral Coefficients from 8 kHz audio at 40
+// frames/s, followed by a server-side speech/non-speech decision.
+//
+// Pipeline (matching Fig. 7's x-axis, plus the windowing stage that
+// makes the paper's operator counts — "filtbank/7, logs/8, cepstral/9"
+// in Fig. 5(b) — come out right):
+//
+//   source -> window -> preemph -> hamming -> prefilt -> FFT
+//          -> filtBank -> logs -> cepstrals -> detect -> main
+//
+// Frame sizes match the paper: 200 raw 16-bit samples (400 bytes) per
+// 25 ms frame; 32 mel-filter energies (128 bytes) after filtBank; 13
+// cepstral coefficients (52 bytes) after the DCT.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/graph.hpp"
+#include "profile/traces.hpp"
+
+namespace wishbone::apps {
+
+using graph::Frame;
+using graph::Graph;
+using graph::OperatorId;
+
+struct SpeechApp {
+  Graph g;
+
+  OperatorId source = 0;
+  OperatorId window = 0;
+  OperatorId preemph = 0;
+  OperatorId hamming = 0;
+  OperatorId prefilt = 0;
+  OperatorId fft = 0;
+  OperatorId filtbank = 0;
+  OperatorId logs = 0;
+  OperatorId cepstrals = 0;
+  OperatorId detect = 0;
+  OperatorId sink = 0;
+
+  /// Native frame rate: 8 kHz audio in 200-sample frames (§6.2.2:
+  /// "the algorithm must natively process 40 frames per second").
+  static constexpr double kFullRateEventsPerSec = 40.0;
+
+  /// The six deployment cut points used in §7.3 (Figs. 9–10): the last
+  /// node-side operator of each candidate cut, in pipeline order
+  /// (1 = source only ... 6 = through cepstrals).
+  [[nodiscard]] std::vector<OperatorId> deployment_cutpoints() const;
+
+  /// Assignment keeping everything up to and including cut point
+  /// `cut_index` (1-based, per deployment_cutpoints) on the node.
+  [[nodiscard]] std::vector<graph::Side> assignment_for_cut(
+      std::size_t cut_index) const;
+
+  /// Names for the Fig. 5(b)/7 x-axes, pipeline order.
+  [[nodiscard]] std::vector<OperatorId> pipeline_order() const;
+};
+
+/// Builds the full application graph with working operator
+/// implementations (the graph actually computes MFCCs).
+[[nodiscard]] SpeechApp build_speech_app();
+
+/// Synthesizes profiling traces for the app's source.
+[[nodiscard]] std::map<OperatorId, std::vector<Frame>> speech_traces(
+    const SpeechApp& app, std::size_t num_frames, std::uint32_t seed = 1);
+
+}  // namespace wishbone::apps

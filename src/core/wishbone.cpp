@@ -1,0 +1,113 @@
+#include "core/wishbone.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace wishbone::core {
+
+Wishbone::Wishbone(graph::Graph& g, profile::PlatformModel platform,
+                   CompileOptions opts)
+    : g_(g), platform_(std::move(platform)), opts_(std::move(opts)) {
+  if (auto err = g.validate()) {
+    throw util::ContractError("Wishbone: invalid graph: " + *err);
+  }
+}
+
+CompileReport Wishbone::compile(
+    const std::map<graph::OperatorId, std::vector<graph::Frame>>& traces,
+    std::size_t num_events, double events_per_sec) {
+  profile::Profiler prof(g_);
+  const profile::ProfileData pd = prof.run(traces, num_events);
+  g_.reset_state();
+  return run(pd, events_per_sec);
+}
+
+CompileReport Wishbone::partition_only(const profile::ProfileData& pd,
+                                       double events_per_sec) const {
+  return run(pd, events_per_sec);
+}
+
+CompileReport Wishbone::run(const profile::ProfileData& pd,
+                            double events_per_sec) const {
+  WB_REQUIRE(events_per_sec > 0, "event rate must be positive");
+  CompileReport rep;
+  rep.profile = pd;
+  rep.requested_rate = events_per_sec;
+  rep.pins = graph::analyze_pins(g_, opts_.mode);
+
+  auto problem_at = [&](double rate) {
+    return partition::make_problem(g_, rep.pins, pd, platform_, rate);
+  };
+
+  partition::PartitionProblem prob = problem_at(events_per_sec);
+  partition::PartitionResult res =
+      partition::solve_partition(prob, opts_.partition);
+
+  std::ostringstream msg;
+  if (res.feasible) {
+    rep.feasible_at_requested_rate = true;
+    rep.partition_rate = events_per_sec;
+    res.sides = partition::expand_assignment(prob, res.sides,
+                                             g_.num_operators());
+    rep.partition = std::move(res);
+    msg << "feasible at " << events_per_sec << " events/s on "
+        << platform_.name << ": " << rep.partition.node_partition_size
+        << " operators in the node partition, CPU "
+        << rep.partition.cpu_used << " of " << prob.cpu_budget
+        << ", uplink " << rep.partition.net_used << " of "
+        << prob.net_budget << " B/s";
+  } else {
+    msg << "no partition fits at " << events_per_sec << " events/s on "
+        << platform_.name << " (CPU budget " << prob.cpu_budget
+        << ", uplink budget " << prob.net_budget << " B/s)";
+    if (opts_.search_rate_on_overload) {
+      partition::RateSearchOptions rs;
+      rs.partition = opts_.partition;
+      rs.min_rate = events_per_sec / 4096.0;
+      rs.max_rate = events_per_sec;
+      rs.rel_tol = opts_.rate_search_rel_tol;
+      const partition::RateSearchResult found =
+          partition::max_sustainable_rate(problem_at, rs);
+      if (found.any_feasible) {
+        rep.max_sustainable_rate = found.max_rate;
+        rep.partition_rate = found.max_rate;
+        partition::PartitionProblem prob_max = problem_at(found.max_rate);
+        rep.partition = found.partition_at_max;
+        rep.partition.sides = partition::expand_assignment(
+            prob_max, rep.partition.sides, g_.num_operators());
+        msg << "; maximum sustainable rate is " << found.max_rate
+            << " events/s (" << (100.0 * found.max_rate / events_per_sec)
+            << "% of requested) — reduce the sampling rate or accept "
+            << "load shedding at the sources";
+      } else {
+        msg << "; no rate admits a partition: the pinned operators alone "
+            << "exceed the budgets — use a more capable platform";
+      }
+    }
+  }
+  rep.message = msg.str();
+
+  // Visualization (§3): heat from the profile, shapes from the cut.
+  graph::DotOptions dot;
+  dot.heat = pd.heat(platform_);
+  if (rep.partition.feasible &&
+      rep.partition.sides.size() == g_.num_operators()) {
+    dot.assignment = rep.partition.sides;
+  }
+  std::vector<std::string> labels;
+  labels.reserve(g_.num_edges());
+  for (std::size_t ei = 0; ei < g_.num_edges(); ++ei) {
+    std::ostringstream l;
+    l << pd.bandwidth(ei, rep.partition_rate > 0 ? rep.partition_rate
+                                                 : events_per_sec)
+      << " B/s";
+    labels.push_back(l.str());
+  }
+  dot.edge_labels = std::move(labels);
+  dot.graph_name = "wishbone_" + platform_.name;
+  rep.dot = graph::to_dot(g_, dot);
+  return rep;
+}
+
+}  // namespace wishbone::core

@@ -1,0 +1,63 @@
+#include "dsp/dct.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.hpp"
+
+namespace wishbone::dsp {
+
+std::vector<float> dct_ii(const std::vector<float>& x, std::size_t num_coeffs,
+                          CostMeter* meter) {
+  WB_REQUIRE(!x.empty(), "dct_ii: empty input");
+  WB_REQUIRE(num_coeffs >= 1 && num_coeffs <= x.size(),
+             "dct_ii: num_coeffs out of range");
+  const std::size_t n = x.size();
+  const double scale0 = std::sqrt(1.0 / static_cast<double>(n));
+  const double scale = std::sqrt(2.0 / static_cast<double>(n));
+  std::vector<float> c(num_coeffs);
+  if (meter) meter->loop_begin();
+  for (std::size_t k = 0; k < num_coeffs; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += static_cast<double>(x[i]) *
+             std::cos(std::numbers::pi / static_cast<double>(n) *
+                      (static_cast<double>(i) + 0.5) * static_cast<double>(k));
+    }
+    c[k] = static_cast<float>((k == 0 ? scale0 : scale) * acc);
+    if (meter) {
+      meter->loop_iteration();
+      meter->charge_trans(n);      // one cos per input element
+      meter->charge_float(3 * n + 2);  // angle mul, product, accumulate
+      meter->charge_mem(4 * n);
+      meter->charge_branch(n);
+    }
+  }
+  if (meter) meter->loop_end();
+  return c;
+}
+
+std::vector<float> idct_ii(const std::vector<float>& c, std::size_t n,
+                           CostMeter* meter) {
+  WB_REQUIRE(!c.empty() && c.size() <= n, "idct_ii: bad sizes");
+  const double scale0 = std::sqrt(1.0 / static_cast<double>(n));
+  const double scale = std::sqrt(2.0 / static_cast<double>(n));
+  std::vector<float> x(n, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < c.size(); ++k) {
+      acc += (k == 0 ? scale0 : scale) * static_cast<double>(c[k]) *
+             std::cos(std::numbers::pi / static_cast<double>(n) *
+                      (static_cast<double>(i) + 0.5) * static_cast<double>(k));
+    }
+    x[i] = static_cast<float>(acc);
+  }
+  if (meter) {
+    meter->charge_trans(n * c.size());
+    meter->charge_float(4 * n * c.size());
+    meter->charge_mem(4 * n * c.size());
+  }
+  return x;
+}
+
+}  // namespace wishbone::dsp

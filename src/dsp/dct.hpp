@@ -1,0 +1,24 @@
+// DCT-II used to compute cepstral coefficients: the first 13 DCT
+// coefficients of the log mel spectrum are the MFCCs (§6.2.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/cost_meter.hpp"
+
+namespace wishbone::dsp {
+
+using graph::CostMeter;
+
+/// Computes the first `num_coeffs` coefficients of the orthonormal
+/// DCT-II of `x`. Direct O(n * num_coeffs) evaluation — this is the
+/// float-heavy `cepstrals` operator that dominates TMote cost (Fig. 8).
+std::vector<float> dct_ii(const std::vector<float>& x, std::size_t num_coeffs,
+                          CostMeter* meter = nullptr);
+
+/// Full inverse of the orthonormal DCT-II (for round-trip testing).
+std::vector<float> idct_ii(const std::vector<float>& c, std::size_t n,
+                           CostMeter* meter = nullptr);
+
+}  // namespace wishbone::dsp

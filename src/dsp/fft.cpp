@@ -1,0 +1,105 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.hpp"
+
+namespace wishbone::dsp {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+namespace {
+
+void fft_core(std::vector<std::complex<float>>& a, bool inverse,
+              CostMeter* meter) {
+  const std::size_t n = a.size();
+  WB_REQUIRE(is_power_of_two(n), "FFT size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  if (meter) {
+    meter->charge_int(2 * n);
+    meter->charge_mem(8 * n);
+  }
+
+  if (meter) meter->loop_begin();
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
+    const std::complex<float> wlen(static_cast<float>(std::cos(ang)),
+                                   static_cast<float>(std::sin(ang)));
+    if (meter) meter->charge_trans(2);  // per-level twiddle cos+sin
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<float> w(1.0f, 0.0f);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<float> u = a[i + k];
+        const std::complex<float> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+        if (meter) meter->loop_iteration();
+      }
+    }
+    if (meter) {
+      // Each butterfly: complex mul (6 flops) + 2 complex adds (4 flops)
+      // + twiddle update (6 flops).
+      meter->charge_float(16 * (n / 2));
+      meter->charge_mem(32 * (n / 2));
+      meter->charge_branch(n / 2);
+    }
+  }
+  if (meter) meter->loop_end();
+
+  if (inverse) {
+    const float inv = 1.0f / static_cast<float>(n);
+    for (auto& x : a) x *= inv;
+    if (meter) meter->charge_float(2 * n);
+  }
+}
+
+}  // namespace
+
+void fft_inplace(std::vector<std::complex<float>>& a, CostMeter* meter) {
+  fft_core(a, /*inverse=*/false, meter);
+}
+
+void ifft_inplace(std::vector<std::complex<float>>& a, CostMeter* meter) {
+  fft_core(a, /*inverse=*/true, meter);
+}
+
+std::vector<float> magnitude_spectrum(const std::vector<float>& x,
+                                      CostMeter* meter) {
+  std::vector<std::complex<float>> a(x.begin(), x.end());
+  fft_inplace(a, meter);
+  const std::size_t half = x.size() / 2;
+  std::vector<float> mag(half + 1);
+  for (std::size_t k = 0; k <= half; ++k) mag[k] = std::abs(a[k]);
+  if (meter) {
+    meter->charge_trans(half + 1);  // one sqrt per bin
+    meter->charge_float(3 * (half + 1));
+    meter->charge_mem(12 * (half + 1));
+  }
+  return mag;
+}
+
+std::vector<float> power_spectrum(const std::vector<float>& x,
+                                  CostMeter* meter) {
+  std::vector<std::complex<float>> a(x.begin(), x.end());
+  fft_inplace(a, meter);
+  const std::size_t half = x.size() / 2;
+  std::vector<float> pow(half + 1);
+  for (std::size_t k = 0; k <= half; ++k) pow[k] = std::norm(a[k]);
+  if (meter) {
+    meter->charge_float(3 * (half + 1));
+    meter->charge_mem(12 * (half + 1));
+  }
+  return pow;
+}
+
+}  // namespace wishbone::dsp

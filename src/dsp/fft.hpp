@@ -1,0 +1,34 @@
+// Radix-2 iterative FFT and power-spectrum helper (the FFT stage of the
+// MFCC pipeline, §6.2.1).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "graph/cost_meter.hpp"
+
+namespace wishbone::dsp {
+
+using graph::CostMeter;
+
+/// In-place radix-2 decimation-in-time FFT. Size must be a power of two.
+void fft_inplace(std::vector<std::complex<float>>& a,
+                 CostMeter* meter = nullptr);
+
+/// Inverse FFT (unscaled conjugate method divided by n).
+void ifft_inplace(std::vector<std::complex<float>>& a,
+                  CostMeter* meter = nullptr);
+
+/// Real-input FFT magnitude spectrum: returns n/2+1 magnitudes for a
+/// real frame of power-of-two length n.
+std::vector<float> magnitude_spectrum(const std::vector<float>& x,
+                                      CostMeter* meter = nullptr);
+
+/// Power spectrum |X[k]|^2 for bins 0..n/2.
+std::vector<float> power_spectrum(const std::vector<float>& x,
+                                  CostMeter* meter = nullptr);
+
+[[nodiscard]] bool is_power_of_two(std::size_t n);
+
+}  // namespace wishbone::dsp

@@ -1,0 +1,92 @@
+#include "dsp/fir.hpp"
+
+#include "util/assert.hpp"
+
+namespace wishbone::dsp {
+
+FirFilter::FirFilter(std::vector<float> coeffs)
+    : coeffs_(std::move(coeffs)), fifo_(coeffs_.size(), 0.0f) {
+  WB_REQUIRE(!coeffs_.empty(), "FIR filter needs at least one tap");
+}
+
+float FirFilter::step(float x, CostMeter* meter) {
+  const std::size_t n = coeffs_.size();
+  fifo_[head_] = x;
+  head_ = (head_ + 1) % n;
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    // coeffs_[0] applies to the newest sample.
+    acc += coeffs_[i] * fifo_[(head_ + n - 1 - i) % n];
+  }
+  if (meter) {
+    meter->charge_float(2 * n);
+    meter->charge_int(3 * n);  // index arithmetic on the circular buffer
+    meter->charge_mem(8 * n);
+    meter->charge_branch(n);
+  }
+  return acc;
+}
+
+std::vector<float> FirFilter::process(const std::vector<float>& frame,
+                                      CostMeter* meter) {
+  std::vector<float> out(frame.size());
+  if (meter) meter->loop_begin();
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    out[i] = step(frame[i], meter);
+    if (meter) meter->loop_iteration();
+  }
+  if (meter) meter->loop_end();
+  return out;
+}
+
+void FirFilter::reset() {
+  std::fill(fifo_.begin(), fifo_.end(), 0.0f);
+  head_ = 0;
+}
+
+namespace {
+
+std::vector<float> take_parity(const std::vector<float>& x,
+                               std::size_t& phase, std::size_t want,
+                               CostMeter* meter) {
+  std::vector<float> out;
+  out.reserve(x.size() / 2 + 1);
+  for (float v : x) {
+    if (phase == want) out.push_back(v);
+    phase ^= 1;
+  }
+  if (meter) {
+    meter->charge_int(2 * x.size());
+    meter->charge_mem(4 * (x.size() + out.size()));
+    meter->charge_branch(x.size());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<float> take_even(const std::vector<float>& x, std::size_t& phase,
+                             CostMeter* meter) {
+  return take_parity(x, phase, 0, meter);
+}
+
+std::vector<float> take_odd(const std::vector<float>& x, std::size_t& phase,
+                            CostMeter* meter) {
+  return take_parity(x, phase, 1, meter);
+}
+
+std::vector<float> add_frames(const std::vector<float>& a,
+                              const std::vector<float>& b,
+                              CostMeter* meter) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::vector<float> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+  if (meter) {
+    meter->charge_float(n);
+    meter->charge_mem(12 * n);
+    meter->charge_branch(n);
+  }
+  return out;
+}
+
+}  // namespace wishbone::dsp

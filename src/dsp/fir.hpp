@@ -1,0 +1,53 @@
+// FIR filtering with explicit FIFO state, mirroring the WaveScript
+// FIRFilter of Fig. 1 (the building block of the EEG wavelet cascade).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/cost_meter.hpp"
+
+namespace wishbone::dsp {
+
+using graph::CostMeter;
+
+/// Streaming FIR filter. Stateful: the FIFO of the last N-1 samples is
+/// preserved across frames, exactly like the `fifo` in Fig. 1.
+class FirFilter {
+ public:
+  explicit FirFilter(std::vector<float> coeffs);
+
+  /// Filters one sample.
+  float step(float x, CostMeter* meter = nullptr);
+
+  /// Filters a whole frame (convenience; equivalent to repeated step()).
+  std::vector<float> process(const std::vector<float>& frame,
+                             CostMeter* meter = nullptr);
+
+  /// Clears the FIFO back to zeros.
+  void reset();
+
+  [[nodiscard]] std::size_t num_taps() const { return coeffs_.size(); }
+  [[nodiscard]] const std::vector<float>& coeffs() const { return coeffs_; }
+
+ private:
+  std::vector<float> coeffs_;
+  std::vector<float> fifo_;  ///< circular buffer of past inputs
+  std::size_t head_ = 0;
+};
+
+/// Splits a frame into its even-indexed samples (GetEven in Fig. 1).
+/// `phase` tracks parity across frame boundaries for streaming use.
+std::vector<float> take_even(const std::vector<float>& x, std::size_t& phase,
+                             CostMeter* meter = nullptr);
+/// Odd-indexed counterpart (GetOdd in Fig. 1).
+std::vector<float> take_odd(const std::vector<float>& x, std::size_t& phase,
+                            CostMeter* meter = nullptr);
+
+/// Elementwise sum of two frames, truncating to the shorter
+/// (AddOddAndEven in Fig. 1).
+std::vector<float> add_frames(const std::vector<float>& a,
+                              const std::vector<float>& b,
+                              CostMeter* meter = nullptr);
+
+}  // namespace wishbone::dsp

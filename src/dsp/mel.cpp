@@ -1,0 +1,113 @@
+#include "dsp/mel.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace wishbone::dsp {
+
+double MelFilterbank::hz_to_mel(double hz) {
+  return 2595.0 * std::log10(1.0 + hz / 700.0);
+}
+
+double MelFilterbank::mel_to_hz(double mel) {
+  return 700.0 * (std::pow(10.0, mel / 2595.0) - 1.0);
+}
+
+MelFilterbank::MelFilterbank(std::size_t num_filters, std::size_t num_bins,
+                             double sample_rate_hz)
+    : num_bins_(num_bins) {
+  WB_REQUIRE(num_filters >= 1, "mel filterbank needs >= 1 filter");
+  WB_REQUIRE(num_bins >= 4, "mel filterbank needs >= 4 spectrum bins");
+  WB_REQUIRE(sample_rate_hz > 0, "sample rate must be positive");
+
+  const double nyquist = sample_rate_hz / 2.0;
+  const double mel_lo = hz_to_mel(0.0);
+  const double mel_hi = hz_to_mel(nyquist);
+
+  // num_filters triangles need num_filters + 2 evenly spaced mel points.
+  std::vector<double> centers_hz(num_filters + 2);
+  for (std::size_t i = 0; i < centers_hz.size(); ++i) {
+    const double mel = mel_lo + (mel_hi - mel_lo) * static_cast<double>(i) /
+                                    static_cast<double>(num_filters + 1);
+    centers_hz[i] = mel_to_hz(mel);
+  }
+
+  const double hz_per_bin = nyquist / static_cast<double>(num_bins - 1);
+  filters_.resize(num_filters);
+  for (std::size_t f = 0; f < num_filters; ++f) {
+    const double lo = centers_hz[f];
+    const double mid = centers_hz[f + 1];
+    const double hi = centers_hz[f + 2];
+    Filter filt;
+    bool started = false;
+    for (std::size_t b = 0; b < num_bins; ++b) {
+      const double hz = static_cast<double>(b) * hz_per_bin;
+      double w = 0.0;
+      if (hz > lo && hz < hi) {
+        w = hz <= mid ? (hz - lo) / (mid - lo) : (hi - hz) / (hi - mid);
+      }
+      if (w > 0.0) {
+        if (!started) {
+          filt.first_bin = b;
+          started = true;
+        }
+        filt.weights.push_back(static_cast<float>(w));
+      } else if (started) {
+        break;
+      }
+    }
+    // Very narrow filters can fall between bins; give them their nearest
+    // bin so every filter contributes.
+    if (filt.weights.empty()) {
+      filt.first_bin = static_cast<std::size_t>(mid / hz_per_bin);
+      if (filt.first_bin >= num_bins) filt.first_bin = num_bins - 1;
+      filt.weights.push_back(1.0f);
+    }
+    filters_[f] = std::move(filt);
+  }
+}
+
+std::vector<float> MelFilterbank::apply(const std::vector<float>& spectrum,
+                                        CostMeter* meter) const {
+  WB_REQUIRE(spectrum.size() == num_bins_,
+             "mel filterbank: spectrum size mismatch");
+  std::vector<float> out(filters_.size(), 0.0f);
+  if (meter) meter->loop_begin();
+  for (std::size_t f = 0; f < filters_.size(); ++f) {
+    const Filter& filt = filters_[f];
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < filt.weights.size(); ++i) {
+      acc += filt.weights[i] * spectrum[filt.first_bin + i];
+    }
+    out[f] = acc;
+    if (meter) {
+      meter->loop_iteration();
+      meter->charge_float(2 * filt.weights.size());
+      meter->charge_mem(8 * filt.weights.size());
+      meter->charge_branch(filt.weights.size());
+    }
+  }
+  if (meter) meter->loop_end();
+  return out;
+}
+
+std::vector<float> log_compress(const std::vector<float>& x,
+                                CostMeter* meter) {
+  constexpr float kFloor = 1e-10f;
+  std::vector<float> y(x.size());
+  if (meter) meter->loop_begin();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = std::log(x[i] > kFloor ? x[i] : kFloor);
+  }
+  if (meter) {
+    meter->loop_iteration(x.size());
+    meter->charge_trans(x.size());  // one log per element
+    meter->charge_mem(8 * x.size());
+    meter->charge_branch(x.size());
+    meter->loop_end();
+  }
+  return y;
+}
+
+}  // namespace wishbone::dsp

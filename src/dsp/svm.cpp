@@ -1,0 +1,53 @@
+#include "dsp/svm.hpp"
+
+#include "util/assert.hpp"
+
+namespace wishbone::dsp {
+
+LinearSvm::LinearSvm(std::vector<float> weights, float bias)
+    : weights_(std::move(weights)), bias_(bias) {
+  WB_REQUIRE(!weights_.empty(), "SVM needs a non-empty weight vector");
+}
+
+float LinearSvm::decision(const std::vector<float>& x,
+                          CostMeter* meter) const {
+  WB_REQUIRE(x.size() == weights_.size(), "SVM: feature dimension mismatch");
+  float acc = bias_;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += weights_[i] * x[i];
+  if (meter) {
+    meter->charge_float(2 * x.size() + 1);
+    meter->charge_mem(8 * x.size());
+    meter->charge_branch(x.size());
+  }
+  return acc;
+}
+
+bool LinearSvm::predict(const std::vector<float>& x, CostMeter* meter) const {
+  return decision(x, meter) > 0.0f;
+}
+
+ConsecutiveDetector::ConsecutiveDetector(std::size_t required)
+    : required_(required) {
+  WB_REQUIRE(required >= 1, "detector requires >= 1 consecutive windows");
+}
+
+bool ConsecutiveDetector::feed(bool positive) {
+  if (!positive) {
+    run_ = 0;
+    fired_ = false;
+    return false;
+  }
+  ++run_;
+  if (run_ >= required_ && !fired_) {
+    fired_ = true;
+    return true;
+  }
+  return false;
+}
+
+void ConsecutiveDetector::reset() {
+  run_ = 0;
+  fired_ = false;
+}
+
+}  // namespace wishbone::dsp

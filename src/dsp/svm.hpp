@@ -1,0 +1,54 @@
+// Linear support vector machine (§6.1): the per-patient classifier that
+// consumes the 66-element EEG feature vector (22 channels x 3 bands) and
+// declares a seizure after three consecutive positive windows.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/cost_meter.hpp"
+
+namespace wishbone::dsp {
+
+using graph::CostMeter;
+
+class LinearSvm {
+ public:
+  LinearSvm(std::vector<float> weights, float bias);
+
+  /// Signed decision value w·x + b.
+  [[nodiscard]] float decision(const std::vector<float>& x,
+                               CostMeter* meter = nullptr) const;
+
+  /// Classification: decision > 0.
+  [[nodiscard]] bool predict(const std::vector<float>& x,
+                             CostMeter* meter = nullptr) const;
+
+  [[nodiscard]] std::size_t dimension() const { return weights_.size(); }
+
+ private:
+  std::vector<float> weights_;
+  float bias_;
+};
+
+/// Declares an event after `required` consecutive positive windows
+/// (§6.1: "After three consecutive positive windows have been detected,
+/// a seizure is declared"). Stateful.
+class ConsecutiveDetector {
+ public:
+  explicit ConsecutiveDetector(std::size_t required);
+
+  /// Feeds one window's classification; returns true when the run-length
+  /// threshold is first reached.
+  bool feed(bool positive);
+
+  void reset();
+  [[nodiscard]] std::size_t run_length() const { return run_; }
+
+ private:
+  std::size_t required_;
+  std::size_t run_ = 0;
+  bool fired_ = false;
+};
+
+}  // namespace wishbone::dsp

@@ -1,0 +1,97 @@
+#include "dsp/wavelet.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace wishbone::dsp {
+
+namespace {
+
+// Daubechies-4 analysis filters. Low-pass h = [h0 h1 h2 h3]; high-pass
+// g[k] = (-1)^k h[3-k]. The polyphase split sends even-indexed taps to
+// the even branch and odd-indexed taps to the odd branch; unused taps
+// are zero-padded so both branches are uniform 4-tap filters, matching
+// the paper's "4-tap FIR filter" per branch.
+constexpr float kH0 = 0.48296291314453416f;
+constexpr float kH1 = 0.83651630373780790f;
+constexpr float kH2 = 0.22414386804201339f;
+constexpr float kH3 = -0.12940952255126037f;
+
+}  // namespace
+
+PolyphaseCoeffs lowpass_polyphase() {
+  return PolyphaseCoeffs{{kH0, kH2, 0.0f, 0.0f}, {kH1, kH3, 0.0f, 0.0f}};
+}
+
+PolyphaseCoeffs highpass_polyphase() {
+  // g = [h3, -h2, h1, -h0]
+  return PolyphaseCoeffs{{kH3, kH1, 0.0f, 0.0f}, {-kH2, -kH0, 0.0f, 0.0f}};
+}
+
+PolyphaseStage::PolyphaseStage(const PolyphaseCoeffs& coeffs)
+    : even_fir_(std::vector<float>(coeffs.even.begin(), coeffs.even.end())),
+      odd_fir_(std::vector<float>(coeffs.odd.begin(), coeffs.odd.end())) {}
+
+std::vector<float> PolyphaseStage::process(const std::vector<float>& frame,
+                                           CostMeter* meter) {
+  std::vector<float> out;
+  out.reserve(frame.size() / 2 + 1);
+  if (meter) meter->loop_begin();
+  for (float x : frame) {
+    if (phase_ == 0) {
+      pending_ = even_fir_.step(x, meter);
+      has_pending_ = true;
+      phase_ = 1;
+    } else {
+      const float odd = odd_fir_.step(x, meter);
+      WB_ASSERT(has_pending_);
+      out.push_back(pending_ + odd);
+      has_pending_ = false;
+      phase_ = 0;
+      if (meter) meter->charge_float(1);
+    }
+    if (meter) meter->loop_iteration();
+  }
+  if (meter) {
+    meter->charge_mem(4 * (frame.size() + out.size()));
+    meter->charge_branch(frame.size());
+    meter->loop_end();
+  }
+  return out;
+}
+
+void PolyphaseStage::reset() {
+  even_fir_.reset();
+  odd_fir_.reset();
+  phase_ = 0;
+  pending_ = 0.0f;
+  has_pending_ = false;
+}
+
+float mag_with_scale(const std::vector<float>& frame, float gain,
+                     CostMeter* meter) {
+  if (frame.empty()) return 0.0f;
+  float acc = 0.0f;
+  for (float x : frame) acc += std::fabs(x);
+  if (meter) {
+    meter->charge_float(2 * frame.size() + 2);
+    meter->charge_mem(4 * frame.size());
+    meter->charge_branch(frame.size());
+  }
+  return gain * acc / static_cast<float>(frame.size());
+}
+
+float mean_energy(const std::vector<float>& frame, CostMeter* meter) {
+  if (frame.empty()) return 0.0f;
+  float acc = 0.0f;
+  for (float x : frame) acc += x * x;
+  if (meter) {
+    meter->charge_float(2 * frame.size() + 1);
+    meter->charge_mem(4 * frame.size());
+    meter->charge_branch(frame.size());
+  }
+  return acc / static_cast<float>(frame.size());
+}
+
+}  // namespace wishbone::dsp

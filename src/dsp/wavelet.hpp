@@ -1,0 +1,56 @@
+// Polyphase wavelet decomposition used by the EEG seizure-onset
+// application (§6.1): the signal is split into even and odd samples,
+// each passed through a 4-tap FIR filter, and the two results summed —
+// one LowFreqFilter/HighFreqFilter stage of Fig. 1. Each stage halves
+// the data rate; the cascade runs 7 levels deep.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "dsp/fir.hpp"
+#include "graph/cost_meter.hpp"
+
+namespace wishbone::dsp {
+
+/// 4-tap polyphase coefficient pairs (even-branch, odd-branch) for the
+/// low-pass and high-pass halves of the decomposition. Derived from the
+/// Daubechies-4 analysis filters split into polyphase components.
+struct PolyphaseCoeffs {
+  std::array<float, 4> even;
+  std::array<float, 4> odd;
+};
+
+[[nodiscard]] PolyphaseCoeffs lowpass_polyphase();
+[[nodiscard]] PolyphaseCoeffs highpass_polyphase();
+
+/// One polyphase filter stage: consumes frames of samples, outputs
+/// frames of half length. Stateful (parity phase + FIR FIFOs persist
+/// across frames), exactly like LowFreqFilter in Fig. 1.
+class PolyphaseStage {
+ public:
+  explicit PolyphaseStage(const PolyphaseCoeffs& coeffs);
+
+  std::vector<float> process(const std::vector<float>& frame,
+                             CostMeter* meter = nullptr);
+  void reset();
+
+ private:
+  FirFilter even_fir_;
+  FirFilter odd_fir_;
+  std::size_t phase_ = 0;
+  float pending_ = 0.0f;   ///< carries an unpaired sample across frames
+  bool has_pending_ = false;
+};
+
+/// Scaled mean magnitude of a frame (MagWithScale in Fig. 1): the energy
+/// feature extracted from each high-frequency band.
+float mag_with_scale(const std::vector<float>& frame, float gain,
+                     CostMeter* meter = nullptr);
+
+/// Mean energy (mean of squares) of a frame.
+float mean_energy(const std::vector<float>& frame,
+                  CostMeter* meter = nullptr);
+
+}  // namespace wishbone::dsp

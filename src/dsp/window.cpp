@@ -1,0 +1,92 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.hpp"
+
+namespace wishbone::dsp {
+
+std::vector<float> preemphasis(const std::vector<float>& x, float alpha,
+                               float& prev, CostMeter* meter) {
+  std::vector<float> y(x.size());
+  if (meter) meter->loop_begin();
+  float p = prev;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = x[i] - alpha * p;
+    p = x[i];
+  }
+  prev = p;
+  if (meter) {
+    meter->loop_iteration(x.size());
+    meter->charge_float(2 * x.size());  // one mul + one sub per sample
+    meter->charge_mem(8 * x.size());    // read x, write y
+    meter->charge_branch(x.size());
+    meter->loop_end();
+  }
+  return y;
+}
+
+std::vector<float> hamming_window(std::size_t n) {
+  WB_REQUIRE(n >= 2, "hamming window needs n >= 2");
+  std::vector<float> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = static_cast<float>(
+        0.54 - 0.46 * std::cos(2.0 * std::numbers::pi *
+                               static_cast<double>(i) /
+                               static_cast<double>(n - 1)));
+  }
+  return w;
+}
+
+std::vector<float> apply_window(const std::vector<float>& x,
+                                const std::vector<float>& w,
+                                CostMeter* meter) {
+  WB_REQUIRE(x.size() == w.size(), "apply_window: size mismatch");
+  std::vector<float> y(x.size());
+  if (meter) meter->loop_begin();
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] * w[i];
+  if (meter) {
+    meter->loop_iteration(x.size());
+    meter->charge_float(x.size());
+    meter->charge_mem(12 * x.size());
+    meter->charge_branch(x.size());
+    meter->loop_end();
+  }
+  return y;
+}
+
+std::vector<float> zero_pad(const std::vector<float>& x, std::size_t n,
+                            CostMeter* meter) {
+  std::vector<float> y(n, 0.0f);
+  const std::size_t m = std::min(n, x.size());
+  for (std::size_t i = 0; i < m; ++i) y[i] = x[i];
+  if (meter) {
+    meter->charge_mem(4 * (n + m));
+    meter->charge_int(n);
+  }
+  return y;
+}
+
+std::vector<float> decimate(const std::vector<float>& x, std::size_t factor,
+                            CostMeter* meter) {
+  WB_REQUIRE(factor >= 1, "decimate: factor must be >= 1");
+  std::vector<float> y;
+  y.reserve(x.size() / factor + 1);
+  if (meter) meter->loop_begin();
+  for (std::size_t i = 0; i + factor <= x.size(); i += factor) {
+    float acc = 0.0f;
+    for (std::size_t j = 0; j < factor; ++j) acc += x[i + j];
+    y.push_back(acc / static_cast<float>(factor));
+  }
+  if (meter) {
+    meter->loop_iteration(y.size());
+    meter->charge_float(x.size() + y.size());
+    meter->charge_mem(4 * (x.size() + y.size()));
+    meter->charge_branch(x.size());
+    meter->loop_end();
+  }
+  return y;
+}
+
+}  // namespace wishbone::dsp

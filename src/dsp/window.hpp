@@ -1,0 +1,43 @@
+// Windowing and pre-emphasis primitives used by the MFCC front end
+// (§6.2.1: preemph and hamming stages of the speech pipeline).
+//
+// Every routine optionally charges a CostMeter with the abstract
+// operations it performs, so that operators built on these primitives
+// are profiled without separate instrumentation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/cost_meter.hpp"
+
+namespace wishbone::dsp {
+
+using graph::CostMeter;
+
+/// First-order pre-emphasis filter y[n] = x[n] - alpha*x[n-1].
+/// `prev` carries the last sample of the previous frame (stateful across
+/// frames); pass 0 for the first frame.
+std::vector<float> preemphasis(const std::vector<float>& x, float alpha,
+                               float& prev, CostMeter* meter = nullptr);
+
+/// Hamming window coefficients of length n.
+[[nodiscard]] std::vector<float> hamming_window(std::size_t n);
+
+/// Pointwise multiply of a frame by a window (sizes must match).
+std::vector<float> apply_window(const std::vector<float>& x,
+                                const std::vector<float>& w,
+                                CostMeter* meter = nullptr);
+
+/// Zero-pads (or truncates) x to length n — the `prefilt` conditioning
+/// stage that prepares a frame for a power-of-two FFT.
+std::vector<float> zero_pad(const std::vector<float>& x, std::size_t n,
+                            CostMeter* meter = nullptr);
+
+/// Low-pass + decimate by `factor` using a boxcar average; the TMote
+/// audio board samples at 32 kS/s and decimates to 8 kS/s digitally
+/// (§6.2.3).
+std::vector<float> decimate(const std::vector<float>& x, std::size_t factor,
+                            CostMeter* meter = nullptr);
+
+}  // namespace wishbone::dsp

@@ -1,0 +1,106 @@
+#include "graph/builder.hpp"
+
+#include "util/assert.hpp"
+
+namespace wishbone::graph {
+
+GraphBuilder::NodeScope::NodeScope(GraphBuilder& b) : builder_(b) {
+  ++builder_.node_depth_;
+}
+
+GraphBuilder::NodeScope::~NodeScope() { --builder_.node_depth_; }
+
+Stream GraphBuilder::source(const std::string& name,
+                            std::unique_ptr<OperatorImpl> impl) {
+  WB_REQUIRE(current_ns() == Namespace::kNode,
+             "sources must be declared inside a Node{} scope (§2.1)");
+  OperatorInfo info;
+  info.name = name;
+  info.ns = Namespace::kNode;
+  info.is_source = true;
+  info.side_effects = true;  // samples hardware
+  info.stateful = true;
+  info.num_inputs = 0;
+  return Stream(graph_.add_operator(std::move(info), std::move(impl)));
+}
+
+Stream GraphBuilder::stateless(const std::string& name, Stream input,
+                               std::unique_ptr<OperatorImpl> impl) {
+  WB_REQUIRE(input.valid(), "stateless(): invalid input stream");
+  OperatorInfo info;
+  info.name = name;
+  info.ns = current_ns();
+  info.num_inputs = 1;
+  const OperatorId id = graph_.add_operator(std::move(info), std::move(impl));
+  graph_.connect(input.producer(), id, 0);
+  return Stream(id);
+}
+
+Stream GraphBuilder::stateful(const std::string& name, Stream input,
+                              std::unique_ptr<OperatorImpl> impl) {
+  WB_REQUIRE(input.valid(), "stateful(): invalid input stream");
+  OperatorInfo info;
+  info.name = name;
+  info.ns = current_ns();
+  info.stateful = true;
+  info.num_inputs = 1;
+  const OperatorId id = graph_.add_operator(std::move(info), std::move(impl));
+  graph_.connect(input.producer(), id, 0);
+  return Stream(id);
+}
+
+Stream GraphBuilder::join(const std::string& name,
+                          const std::vector<Stream>& inputs,
+                          std::unique_ptr<OperatorImpl> impl) {
+  WB_REQUIRE(inputs.size() >= 2, "join(): needs at least two inputs");
+  OperatorInfo info;
+  info.name = name;
+  info.ns = current_ns();
+  info.stateful = true;  // joins buffer pending elements
+  info.num_inputs = inputs.size();
+  return transform(name, inputs, std::move(info), std::move(impl));
+}
+
+Stream GraphBuilder::transform(const std::string& name,
+                               const std::vector<Stream>& inputs,
+                               OperatorInfo info,
+                               std::unique_ptr<OperatorImpl> impl) {
+  WB_REQUIRE(!inputs.empty(), "transform(): needs at least one input");
+  info.name = name;
+  info.num_inputs = inputs.size();
+  info.is_source = false;
+  info.is_sink = false;
+  const OperatorId id = graph_.add_operator(std::move(info), std::move(impl));
+  for (std::size_t p = 0; p < inputs.size(); ++p) {
+    WB_REQUIRE(inputs[p].valid(), "transform(): invalid input stream");
+    graph_.connect(inputs[p].producer(), id, p);
+  }
+  return Stream(id);
+}
+
+OperatorId GraphBuilder::sink(const std::string& name, Stream input,
+                              std::unique_ptr<OperatorImpl> impl) {
+  WB_REQUIRE(input.valid(), "sink(): invalid input stream");
+  WB_REQUIRE(current_ns() == Namespace::kServer,
+             "sinks deliver output to the user and live on the server");
+  OperatorInfo info;
+  info.name = name;
+  info.ns = Namespace::kServer;
+  info.is_sink = true;
+  info.side_effects = true;  // prints output / writes files
+  info.num_inputs = 1;
+  const OperatorId id = graph_.add_operator(std::move(info), std::move(impl));
+  graph_.connect(input.producer(), id, 0);
+  return id;
+}
+
+Graph GraphBuilder::build() {
+  WB_REQUIRE(!built_, "GraphBuilder::build() called twice");
+  built_ = true;
+  if (auto err = graph_.validate()) {
+    throw util::ContractError("invalid graph: " + *err);
+  }
+  return std::move(graph_);
+}
+
+}  // namespace wishbone::graph

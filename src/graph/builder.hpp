@@ -1,0 +1,99 @@
+// GraphBuilder: a small embedded DSL for wiring operator graphs, playing
+// the role of WaveScript's stream combinators (Fig. 1) and the Node{}
+// namespace declaration (Fig. 2).
+//
+//   GraphBuilder b;
+//   {
+//     auto node = b.node_scope();           // namespace Node { ... }
+//     Stream s1 = b.source("readMic", ...);
+//     Stream s2 = b.stateless("filtAudio", s1, fn);
+//   }
+//   Stream s3 = b.stateless("f", s2, fn);   // server namespace
+//   b.sink("main", s3);
+//   Graph g = b.build();
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace wishbone::graph {
+
+class GraphBuilder;
+
+/// Lightweight handle to an operator's output stream.
+class Stream {
+ public:
+  Stream() = default;
+  [[nodiscard]] OperatorId producer() const { return producer_; }
+  [[nodiscard]] bool valid() const { return producer_ != kInvalidOperator; }
+
+ private:
+  friend class GraphBuilder;
+  explicit Stream(OperatorId p) : producer_(p) {}
+  OperatorId producer_ = kInvalidOperator;
+};
+
+class GraphBuilder {
+ public:
+  /// RAII scope: operators added while alive belong to Node{}.
+  class NodeScope {
+   public:
+    explicit NodeScope(GraphBuilder& b);
+    ~NodeScope();
+    NodeScope(const NodeScope&) = delete;
+    NodeScope& operator=(const NodeScope&) = delete;
+
+   private:
+    GraphBuilder& builder_;
+  };
+
+  [[nodiscard]] NodeScope node_scope() { return NodeScope(*this); }
+
+  /// Adds a source operator (always Node namespace, side-effecting).
+  Stream source(const std::string& name, std::unique_ptr<OperatorImpl> impl);
+
+  /// Adds a stateless, side-effect-free unary operator.
+  Stream stateless(const std::string& name, Stream input,
+                   std::unique_ptr<OperatorImpl> impl);
+
+  /// Adds a stateful unary operator (private state across elements).
+  Stream stateful(const std::string& name, Stream input,
+                  std::unique_ptr<OperatorImpl> impl);
+
+  /// Adds an n-ary operator joining several streams (zipN, AddOddAndEven).
+  /// Joins buffer elements, hence stateful.
+  Stream join(const std::string& name, const std::vector<Stream>& inputs,
+              std::unique_ptr<OperatorImpl> impl);
+
+  /// Adds a unary operator with explicit metadata (advanced use; `info`
+  /// name/num_inputs are overridden to match the call).
+  Stream transform(const std::string& name, const std::vector<Stream>& inputs,
+                   OperatorInfo info, std::unique_ptr<OperatorImpl> impl);
+
+  /// Adds a terminal sink (server namespace, side-effecting: delivers
+  /// results to the user / a file).
+  OperatorId sink(const std::string& name, Stream input,
+                  std::unique_ptr<OperatorImpl> impl = nullptr);
+
+  /// Finalizes and validates the graph; throws ContractError with the
+  /// validation diagnostic if the graph is malformed.
+  [[nodiscard]] Graph build();
+
+  /// Access to the graph under construction (for tests).
+  [[nodiscard]] const Graph& peek() const { return graph_; }
+
+ private:
+  [[nodiscard]] Namespace current_ns() const {
+    return node_depth_ > 0 ? Namespace::kNode : Namespace::kServer;
+  }
+
+  Graph graph_;
+  int node_depth_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace wishbone::graph

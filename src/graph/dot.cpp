@@ -1,0 +1,81 @@
+#include "graph/dot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace wishbone::graph {
+
+namespace {
+
+/// Maps heat in [0,1] to an RGB hex string from cool blue to hot red.
+std::string heat_color(double h) {
+  h = std::clamp(h, 0.0, 1.0);
+  const int r = static_cast<int>(std::lround(255.0 * h));
+  const int b = static_cast<int>(std::lround(255.0 * (1.0 - h)));
+  const int g = static_cast<int>(std::lround(96.0 * (1.0 - std::fabs(2.0 * h - 1.0))));
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "#%02x%02x%02x", r, g, b);
+  return buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const Graph& g, const DotOptions& opts) {
+  if (opts.heat) {
+    WB_REQUIRE(opts.heat->size() == g.num_operators(),
+               "heat vector size mismatch");
+  }
+  if (opts.assignment) {
+    WB_REQUIRE(opts.assignment->size() == g.num_operators(),
+               "assignment vector size mismatch");
+  }
+  if (opts.edge_labels) {
+    WB_REQUIRE(opts.edge_labels->size() == g.num_edges(),
+               "edge label vector size mismatch");
+  }
+
+  std::ostringstream os;
+  os << "digraph \"" << escape(opts.graph_name) << "\" {\n";
+  os << "  rankdir=TB;\n  node [style=filled, fillcolor=white];\n";
+  for (OperatorId v = 0; v < g.num_operators(); ++v) {
+    const OperatorInfo& oi = g.info(v);
+    os << "  n" << v << " [label=\"" << escape(oi.name) << "\"";
+    if (opts.assignment) {
+      os << ", shape="
+         << ((*opts.assignment)[v] == Side::kNode ? "box" : "ellipse");
+    } else {
+      os << ", shape=" << (oi.is_source || oi.is_sink ? "doublecircle" : "ellipse");
+    }
+    if (opts.heat) {
+      os << ", fillcolor=\"" << heat_color((*opts.heat)[v]) << "\"";
+      if ((*opts.heat)[v] > 0.6) os << ", fontcolor=white";
+    }
+    os << "];\n";
+  }
+  for (std::size_t ei = 0; ei < g.num_edges(); ++ei) {
+    const Edge& e = g.edges()[ei];
+    os << "  n" << e.from << " -> n" << e.to;
+    if (opts.edge_labels) {
+      os << " [label=\"" << escape((*opts.edge_labels)[ei]) << "\"]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace wishbone::graph

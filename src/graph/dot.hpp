@@ -1,0 +1,28 @@
+// GraphViz export (§3): after profiling and partitioning, the compiler
+// emits a visualization where colour encodes profiled cost (cool → hot)
+// and shape encodes the partition each operator was assigned to.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace wishbone::graph {
+
+struct DotOptions {
+  /// Per-operator heat in [0,1]; rendered cool (blue) to hot (red).
+  std::optional<std::vector<double>> heat;
+  /// Per-operator side assignment; node-partition vertices are drawn as
+  /// boxes, server-partition vertices as ellipses.
+  std::optional<std::vector<Side>> assignment;
+  /// Per-edge labels (e.g. profiled bytes/s), indexed like Graph::edges().
+  std::optional<std::vector<std::string>> edge_labels;
+  std::string graph_name = "wishbone";
+};
+
+/// Renders the graph in GraphViz DOT syntax.
+[[nodiscard]] std::string to_dot(const Graph& g, const DotOptions& opts = {});
+
+}  // namespace wishbone::graph

@@ -1,0 +1,3 @@
+#include "graph/frame.hpp"
+
+// Frame is header-only; this translation unit anchors the library target.

@@ -1,0 +1,52 @@
+// A Frame is the unit of data flowing on a stream edge.
+//
+// WaveScript streams carry typed elements; for Wishbone's purposes the
+// only properties that matter are the numeric payload (operators compute
+// on it) and the marshaled wire size (the partitioner charges cut edges
+// by bytes on the radio). Raw ADC samples are 16-bit (2 bytes each, §6.2.3)
+// while extracted features are 32-bit values (4 bytes each), which is how
+// the paper arrives at 400-byte raw frames and 52-byte cepstral frames.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+namespace wishbone::graph {
+
+/// Bytes used to marshal one value of each payload encoding.
+enum class Encoding : std::uint8_t {
+  kInt16 = 2,   ///< raw ADC samples
+  kFloat32 = 4  ///< computed features / filtered signals
+};
+
+class Frame {
+ public:
+  Frame() = default;
+  Frame(std::vector<float> samples, Encoding enc)
+      : samples_(std::move(samples)), encoding_(enc) {}
+  Frame(std::initializer_list<float> samples, Encoding enc)
+      : samples_(samples), encoding_(enc) {}
+
+  [[nodiscard]] const std::vector<float>& samples() const { return samples_; }
+  [[nodiscard]] std::vector<float>& samples() { return samples_; }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] Encoding encoding() const { return encoding_; }
+
+  [[nodiscard]] float operator[](std::size_t i) const { return samples_[i]; }
+  [[nodiscard]] float& operator[](std::size_t i) { return samples_[i]; }
+
+  /// Marshaled size on a network link, in bytes. Used as the edge
+  /// bandwidth contribution of this element by the profiler.
+  [[nodiscard]] std::size_t wire_bytes() const {
+    return samples_.size() * static_cast<std::size_t>(encoding_);
+  }
+
+ private:
+  std::vector<float> samples_;
+  Encoding encoding_ = Encoding::kFloat32;
+};
+
+}  // namespace wishbone::graph

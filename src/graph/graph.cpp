@@ -1,0 +1,240 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace wishbone::graph {
+
+OperatorId Graph::add_operator(OperatorInfo info,
+                               std::unique_ptr<OperatorImpl> impl) {
+  WB_REQUIRE(!info.name.empty(), "operator name must be non-empty");
+  if (info.is_source) {
+    WB_REQUIRE(info.num_inputs == 0, "source operators take no inputs");
+    WB_REQUIRE(info.ns == Namespace::kNode,
+               "sources sample node hardware and belong to Node{} (§2.1)");
+  } else {
+    WB_REQUIRE(info.num_inputs >= 1, "non-source operators need >=1 input");
+  }
+  infos_.push_back(std::move(info));
+  impls_.push_back(std::move(impl));
+  out_.emplace_back();
+  in_.emplace_back();
+  return infos_.size() - 1;
+}
+
+void Graph::connect(OperatorId from, OperatorId to, std::size_t port) {
+  check_id(from);
+  check_id(to);
+  WB_REQUIRE(from != to, "self-loops are not allowed");
+  WB_REQUIRE(!infos_[to].is_source, "cannot connect into a source");
+  WB_REQUIRE(!infos_[from].is_sink, "cannot connect out of a sink");
+  WB_REQUIRE(port < infos_[to].num_inputs, "input port out of range");
+  for (std::size_t ei : in_[to]) {
+    WB_REQUIRE(edges_[ei].to_port != port,
+               "input port already wired: " + infos_[to].name);
+  }
+  edges_.push_back(Edge{from, to, port});
+  out_[from].push_back(edges_.size() - 1);
+  in_[to].push_back(edges_.size() - 1);
+}
+
+const OperatorInfo& Graph::info(OperatorId id) const {
+  check_id(id);
+  return infos_[id];
+}
+
+OperatorInfo& Graph::info(OperatorId id) {
+  check_id(id);
+  return infos_[id];
+}
+
+OperatorImpl* Graph::impl(OperatorId id) const {
+  check_id(id);
+  return impls_[id].get();
+}
+
+const std::vector<std::size_t>& Graph::out_edges(OperatorId id) const {
+  check_id(id);
+  return out_[id];
+}
+
+const std::vector<std::size_t>& Graph::in_edges(OperatorId id) const {
+  check_id(id);
+  return in_[id];
+}
+
+std::vector<OperatorId> Graph::sources() const {
+  std::vector<OperatorId> out;
+  for (OperatorId v = 0; v < infos_.size(); ++v) {
+    if (infos_[v].is_source) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<OperatorId> Graph::sinks() const {
+  std::vector<OperatorId> out;
+  for (OperatorId v = 0; v < infos_.size(); ++v) {
+    if (infos_[v].is_sink) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<OperatorId> Graph::topo_order() const {
+  std::vector<std::size_t> indeg(infos_.size(), 0);
+  for (const Edge& e : edges_) ++indeg[e.to];
+  std::queue<OperatorId> ready;
+  for (OperatorId v = 0; v < infos_.size(); ++v) {
+    if (indeg[v] == 0) ready.push(v);
+  }
+  std::vector<OperatorId> order;
+  order.reserve(infos_.size());
+  while (!ready.empty()) {
+    const OperatorId v = ready.front();
+    ready.pop();
+    order.push_back(v);
+    for (std::size_t ei : out_[v]) {
+      if (--indeg[edges_[ei].to] == 0) ready.push(edges_[ei].to);
+    }
+  }
+  WB_REQUIRE(order.size() == infos_.size(), "graph contains a cycle");
+  return order;
+}
+
+bool Graph::fully_connected() const {
+  // A vertex is on a source→sink path iff it is reachable from some
+  // source and reaches some sink.
+  std::vector<char> from_src(infos_.size(), 0);
+  std::vector<char> to_sink(infos_.size(), 0);
+  std::vector<OperatorId> stack;
+  for (OperatorId s : sources()) {
+    from_src[s] = 1;
+    stack.push_back(s);
+  }
+  while (!stack.empty()) {
+    const OperatorId v = stack.back();
+    stack.pop_back();
+    for (std::size_t ei : out_[v]) {
+      const OperatorId w = edges_[ei].to;
+      if (!from_src[w]) {
+        from_src[w] = 1;
+        stack.push_back(w);
+      }
+    }
+  }
+  for (OperatorId t : sinks()) {
+    to_sink[t] = 1;
+    stack.push_back(t);
+  }
+  while (!stack.empty()) {
+    const OperatorId v = stack.back();
+    stack.pop_back();
+    for (std::size_t ei : in_[v]) {
+      const OperatorId w = edges_[ei].from;
+      if (!to_sink[w]) {
+        to_sink[w] = 1;
+        stack.push_back(w);
+      }
+    }
+  }
+  for (OperatorId v = 0; v < infos_.size(); ++v) {
+    if (!from_src[v] || !to_sink[v]) return false;
+  }
+  return true;
+}
+
+std::optional<std::string> Graph::validate() const {
+  if (infos_.empty()) return "graph is empty";
+  try {
+    (void)topo_order();
+  } catch (const util::ContractError&) {
+    return "graph contains a cycle";
+  }
+  if (sources().empty()) return "graph has no source operator";
+  if (sinks().empty()) return "graph has no sink operator";
+  for (OperatorId v = 0; v < infos_.size(); ++v) {
+    const OperatorInfo& oi = infos_[v];
+    if (oi.is_sink && oi.ns != Namespace::kServer) {
+      return "sink '" + oi.name + "' must be in the server namespace";
+    }
+    if (!oi.is_source && in_[v].size() != oi.num_inputs) {
+      std::ostringstream os;
+      os << "operator '" << oi.name << "' has " << in_[v].size()
+         << " wired inputs but declares " << oi.num_inputs;
+      return os.str();
+    }
+  }
+  if (!fully_connected()) {
+    return "some operator is not on any source-to-sink path";
+  }
+  return std::nullopt;
+}
+
+std::vector<OperatorId> Graph::reach(OperatorId id, bool forward) const {
+  check_id(id);
+  std::vector<char> seen(infos_.size(), 0);
+  std::vector<OperatorId> stack{id};
+  std::vector<OperatorId> out;
+  seen[id] = 1;
+  while (!stack.empty()) {
+    const OperatorId v = stack.back();
+    stack.pop_back();
+    const auto& adj = forward ? out_[v] : in_[v];
+    for (std::size_t ei : adj) {
+      const OperatorId w = forward ? edges_[ei].to : edges_[ei].from;
+      if (!seen[w]) {
+        seen[w] = 1;
+        out.push_back(w);
+        stack.push_back(w);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<OperatorId> Graph::descendants(OperatorId id) const {
+  return reach(id, /*forward=*/true);
+}
+
+std::vector<OperatorId> Graph::ancestors(OperatorId id) const {
+  return reach(id, /*forward=*/false);
+}
+
+Graph Graph::clone() const {
+  Graph g;
+  for (OperatorId v = 0; v < infos_.size(); ++v) {
+    g.infos_.push_back(infos_[v]);
+    g.impls_.push_back(impls_[v] ? impls_[v]->clone() : nullptr);
+    g.out_.emplace_back(out_[v]);
+    g.in_.emplace_back(in_[v]);
+  }
+  g.edges_ = edges_;
+  return g;
+}
+
+void Graph::reset_state() {
+  for (auto& impl : impls_) {
+    if (impl) impl->reset();
+  }
+}
+
+OperatorId Graph::find(const std::string& name) const {
+  OperatorId found = kInvalidOperator;
+  for (OperatorId v = 0; v < infos_.size(); ++v) {
+    if (infos_[v].name == name) {
+      WB_REQUIRE(found == kInvalidOperator, "ambiguous operator name: " + name);
+      found = v;
+    }
+  }
+  WB_REQUIRE(found != kInvalidOperator, "no operator named: " + name);
+  return found;
+}
+
+void Graph::check_id(OperatorId id) const {
+  WB_REQUIRE(id < infos_.size(), "operator id out of range");
+}
+
+}  // namespace wishbone::graph

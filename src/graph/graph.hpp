@@ -1,0 +1,105 @@
+// The dataflow graph: a DAG of stream operators connected by streams.
+//
+// Vertices carry OperatorInfo (placement metadata) and an OperatorImpl
+// (behaviour + state). Every operator has exactly one output stream
+// (WaveScript `iterate` semantics) which may fan out to several
+// consumers; consumers receive elements on numbered input ports.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/operator.hpp"
+
+namespace wishbone::graph {
+
+/// A directed edge: producer's output stream feeding one consumer port.
+struct Edge {
+  OperatorId from = kInvalidOperator;
+  OperatorId to = kInvalidOperator;
+  std::size_t to_port = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  // Graphs own per-operator state; they are movable but must be cloned
+  // explicitly (deep copy of state) rather than copied implicitly.
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  /// Adds a vertex. `impl` may be null for structural graphs used only
+  /// by the partitioner (costs supplied externally, e.g. Fig. 3).
+  OperatorId add_operator(OperatorInfo info, std::unique_ptr<OperatorImpl> impl);
+
+  /// Connects `from`'s output stream to input `port` of `to`.
+  /// Throws ContractError on out-of-range ids, duplicate port wiring,
+  /// edges into sources or out of sinks, or self-loops.
+  void connect(OperatorId from, OperatorId to, std::size_t port = 0);
+
+  [[nodiscard]] std::size_t num_operators() const { return infos_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  [[nodiscard]] const OperatorInfo& info(OperatorId id) const;
+  [[nodiscard]] OperatorInfo& info(OperatorId id);
+  [[nodiscard]] OperatorImpl* impl(OperatorId id) const;
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Out-edges of `id` (indices into edges()).
+  [[nodiscard]] const std::vector<std::size_t>& out_edges(OperatorId id) const;
+  /// In-edges of `id` (indices into edges()).
+  [[nodiscard]] const std::vector<std::size_t>& in_edges(OperatorId id) const;
+
+  [[nodiscard]] std::vector<OperatorId> sources() const;
+  [[nodiscard]] std::vector<OperatorId> sinks() const;
+
+  /// Topological order. Throws ContractError if the graph has a cycle.
+  [[nodiscard]] std::vector<OperatorId> topo_order() const;
+
+  /// True if every vertex lies on some source-to-sink path.
+  [[nodiscard]] bool fully_connected() const;
+
+  /// Checks the structural invariants Wishbone relies on (§2.1.2):
+  /// acyclic; all sources in the Node namespace; all sinks in the Server
+  /// namespace; every input port of every operator wired exactly once;
+  /// every vertex on a source→sink path. Returns a diagnostic message,
+  /// or std::nullopt if the graph is valid.
+  [[nodiscard]] std::optional<std::string> validate() const;
+
+  /// All vertices reachable from `id` by following edges forward
+  /// (excluding `id` itself).
+  [[nodiscard]] std::vector<OperatorId> descendants(OperatorId id) const;
+  /// All vertices that reach `id` (excluding `id` itself).
+  [[nodiscard]] std::vector<OperatorId> ancestors(OperatorId id) const;
+
+  /// Deep copy, cloning operator state. Used to replicate the node
+  /// partition across physical nodes in the deployment simulator.
+  [[nodiscard]] Graph clone() const;
+
+  /// Resets the private state of every operator implementation.
+  void reset_state();
+
+  /// Finds the unique operator with the given name; throws if absent or
+  /// ambiguous. Convenience for tests and benchmarks.
+  [[nodiscard]] OperatorId find(const std::string& name) const;
+
+ private:
+  void check_id(OperatorId id) const;
+  std::vector<OperatorId> reach(OperatorId id, bool forward) const;
+
+  std::vector<OperatorInfo> infos_;
+  std::vector<std::unique_ptr<OperatorImpl>> impls_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::size_t>> out_;  ///< per-vertex out-edge idxs
+  std::vector<std::vector<std::size_t>> in_;   ///< per-vertex in-edge idxs
+};
+
+}  // namespace wishbone::graph

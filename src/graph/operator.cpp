@@ -1,0 +1,3 @@
+#include "graph/operator.hpp"
+
+// OperatorImpl and friends are header-only; this file anchors the target.

@@ -1,0 +1,86 @@
+#include "graph/pinning.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace wishbone::graph {
+
+std::vector<OperatorId> PinAnalysis::movable() const {
+  std::vector<OperatorId> out;
+  for (OperatorId v = 0; v < requirement.size(); ++v) {
+    if (requirement[v] == Requirement::kMovable) out.push_back(v);
+  }
+  return out;
+}
+
+std::size_t PinAnalysis::num_movable() const {
+  return static_cast<std::size_t>(
+      std::count(requirement.begin(), requirement.end(),
+                 Requirement::kMovable));
+}
+
+namespace {
+
+Requirement base_requirement(const OperatorInfo& oi, Mode mode) {
+  if (oi.is_source) return Requirement::kNode;
+  if (oi.is_sink) return Requirement::kServer;
+  if (oi.side_effects) {
+    return oi.ns == Namespace::kNode ? Requirement::kNode
+                                     : Requirement::kServer;
+  }
+  if (oi.stateful) {
+    if (oi.ns == Namespace::kServer) return Requirement::kServer;
+    // Stateful Node operator: movable only when the programmer accepts
+    // lossy edges upstream of state (permissive mode).
+    return mode == Mode::kPermissive ? Requirement::kMovable
+                                     : Requirement::kNode;
+  }
+  return Requirement::kMovable;
+}
+
+void assign(std::vector<Requirement>& req, OperatorId v, Requirement r,
+            const Graph& g) {
+  WB_ASSERT(r != Requirement::kMovable);
+  if (req[v] == r) return;
+  WB_REQUIRE(req[v] == Requirement::kMovable,
+             "contradictory pins: operator '" + g.info(v).name +
+                 "' is forced to both partitions; no single-cut "
+                 "partition exists (§2.1.2)");
+  req[v] = r;
+}
+
+}  // namespace
+
+PinAnalysis analyze_pins(const Graph& g, Mode mode) {
+  PinAnalysis pa;
+  pa.requirement.resize(g.num_operators(), Requirement::kMovable);
+  for (OperatorId v = 0; v < g.num_operators(); ++v) {
+    const Requirement r = base_requirement(g.info(v), mode);
+    if (r != Requirement::kMovable) pa.requirement[v] = r;
+  }
+
+  const std::vector<OperatorId> topo = g.topo_order();
+
+  // Forward pass: descendants of server-pinned operators are server-pinned.
+  for (OperatorId v : topo) {
+    if (pa.requirement[v] != Requirement::kServer) continue;
+    for (std::size_t ei : g.out_edges(v)) {
+      assign(pa.requirement, g.edges()[ei].to, Requirement::kServer, g);
+    }
+  }
+
+  // Backward pass: ancestors of node-pinned operators are node-pinned.
+  // A conflict here (an ancestor already server-pinned) is contradictory.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const OperatorId v = *it;
+    if (pa.requirement[v] != Requirement::kNode) continue;
+    for (std::size_t ei : g.in_edges(v)) {
+      assign(pa.requirement, g.edges()[ei].from, Requirement::kNode, g);
+    }
+  }
+
+  return pa;
+}
+
+}  // namespace wishbone::graph

@@ -1,0 +1,49 @@
+// Relocation constraints (§2.1.1) and their propagation under the
+// single-cut restriction (§2.1.2).
+//
+// Base rules:
+//  - sources are pinned to the node; sinks to the server;
+//  - side-effecting operators are pinned to their namespace's partition;
+//  - stateful server-namespace operators are pinned to the server (serial
+//    semantics, single state instance);
+//  - stateful Node-namespace operators are pinned to the node in
+//    *conservative* mode (relocating them would put a lossy radio edge
+//    upstream of state) and movable in *permissive* mode (the server
+//    emulates per-node state in a table indexed by node id);
+//  - stateless side-effect-free operators are always movable.
+//
+// Because data may cross the network only once, pinning an operator also
+// pins everything up- or down-stream of it: ancestors of a node-pinned
+// operator must be on the node, descendants of a server-pinned operator
+// must be on the server.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace wishbone::graph {
+
+/// Loss-tolerance policy for stateful Node-namespace operators (§2.1.1).
+enum class Mode { kConservative, kPermissive };
+
+/// Placement requirement for one operator after pin propagation.
+enum class Requirement { kMovable, kNode, kServer };
+
+struct PinAnalysis {
+  std::vector<Requirement> requirement;  ///< indexed by OperatorId
+
+  [[nodiscard]] std::vector<OperatorId> movable() const;
+  [[nodiscard]] std::size_t num_movable() const;
+  [[nodiscard]] bool is_movable(OperatorId v) const {
+    return requirement[v] == Requirement::kMovable;
+  }
+};
+
+/// Computes the movable subset of `g` under `mode`.
+/// Throws ContractError if the pins are contradictory (a server-pinned
+/// operator upstream of a node-pinned one), which means no single-cut
+/// partition of the program exists at all.
+[[nodiscard]] PinAnalysis analyze_pins(const Graph& g, Mode mode);
+
+}  // namespace wishbone::graph

@@ -1,0 +1,231 @@
+#include "ilp/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/assert.hpp"
+#include "util/stopwatch.hpp"
+
+namespace wishbone::ilp {
+
+namespace {
+
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  double parent_bound = -kInf;  ///< LP bound of the parent (for pruning)
+  std::size_t depth = 0;
+};
+
+struct NodeOrder {
+  // Best-bound-first: smallest parent bound first; deeper first on ties
+  // so the search dives toward incumbents.
+  bool operator()(const Node& a, const Node& b) const {
+    if (a.parent_bound != b.parent_bound) {
+      return a.parent_bound > b.parent_bound;
+    }
+    return a.depth < b.depth;
+  }
+};
+
+/// Index of the most fractional integer variable, or -1 if integral.
+int pick_branch_var(const LinearProgram& lp, const std::vector<double>& x,
+                    double tol) {
+  int best = -1;
+  double best_dist = tol;
+  for (int v = 0; v < lp.num_variables(); ++v) {
+    if (!lp.is_integer(v)) continue;
+    const double frac = x[v] - std::floor(x[v]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_dist) {
+      best_dist = dist;
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MipResult BranchAndBound::solve(LinearProgram lp,
+                                const MipOptions& opts) const {
+  util::Stopwatch clock;
+  MipResult res;
+  SimplexSolver simplex;
+
+  const int n = lp.num_variables();
+  std::vector<double> root_lo(n), root_hi(n);
+  for (int v = 0; v < n; ++v) {
+    root_lo[v] = lp.lower(v);
+    root_hi[v] = lp.upper(v);
+  }
+
+  double incumbent_obj = kInf;
+  if (opts.warm_start) {
+    WB_REQUIRE(static_cast<int>(opts.warm_start->size()) == n,
+               "warm start has wrong dimension");
+    if (lp.max_violation(*opts.warm_start) <= opts.int_tol) {
+      res.x = *opts.warm_start;
+      res.has_incumbent = true;
+      incumbent_obj = lp.objective_value(res.x);
+      res.objective = incumbent_obj;
+      res.incumbents.push_back({clock.elapsed_seconds(), incumbent_obj, 0});
+      res.time_to_first_incumbent = clock.elapsed_seconds();
+      res.time_to_best_incumbent = clock.elapsed_seconds();
+    }
+  }
+
+  // Open set: priority queue (best-first) or vector used as stack (DFS).
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> best_first;
+  std::vector<Node> stack;
+  auto push = [&](Node nd) {
+    if (opts.depth_first) stack.push_back(std::move(nd));
+    else best_first.push(std::move(nd));
+  };
+  auto empty = [&] {
+    return opts.depth_first ? stack.empty() : best_first.empty();
+  };
+  auto pop = [&] {
+    if (opts.depth_first) {
+      Node nd = std::move(stack.back());
+      stack.pop_back();
+      return nd;
+    }
+    Node nd = best_first.top();
+    best_first.pop();
+    return nd;
+  };
+  auto open_best_bound = [&]() -> double {
+    if (opts.depth_first) {
+      double b = kInf;
+      for (const Node& nd : stack) b = std::min(b, nd.parent_bound);
+      return b;
+    }
+    return best_first.empty() ? kInf : best_first.top().parent_bound;
+  };
+
+  push(Node{root_lo, root_hi, -kInf, 0});
+
+  bool hit_limit = false;
+  bool root_infeasible = true;  // until any node LP is feasible
+  while (!empty()) {
+    if (clock.elapsed_seconds() > opts.time_limit_s ||
+        res.nodes_explored >= opts.max_nodes) {
+      hit_limit = true;
+      break;
+    }
+    Node nd = pop();
+    // Prune against the incumbent before paying for the LP.
+    const double prune_margin =
+        std::max(opts.gap_abs, opts.gap_rel * std::fabs(incumbent_obj));
+    if (nd.parent_bound >= incumbent_obj - prune_margin) continue;
+
+    for (int v = 0; v < n; ++v) lp.set_bounds(v, nd.lower[v], nd.upper[v]);
+    const LpSolution rel = simplex.solve(lp, opts.lp);
+    res.lp_iterations += rel.iterations;
+    ++res.nodes_explored;
+
+    if (rel.status == SolveStatus::kInfeasible) continue;
+    if (rel.status != SolveStatus::kOptimal) {
+      hit_limit = true;  // numerical failure in a node LP
+      break;
+    }
+    root_infeasible = false;
+
+    // Primal rounding heuristic on shallow nodes.
+    if (opts.rounding_hook && nd.depth <= opts.rounding_depth) {
+      if (auto cand = opts.rounding_hook(rel.x)) {
+        if (static_cast<int>(cand->size()) == n &&
+            lp.max_violation(*cand) <= opts.int_tol) {
+          const double obj = lp.objective_value(*cand);
+          if (obj < incumbent_obj - opts.gap_abs) {
+            incumbent_obj = obj;
+            res.x = std::move(*cand);
+            res.has_incumbent = true;
+            res.objective = obj;
+            const double now = clock.elapsed_seconds();
+            if (res.time_to_first_incumbent < 0) {
+              res.time_to_first_incumbent = now;
+            }
+            res.time_to_best_incumbent = now;
+            res.incumbents.push_back({now, obj, res.nodes_explored});
+          }
+        }
+      }
+    }
+
+    // (Re)compute the margin: the hook may have tightened the incumbent.
+    const double node_margin =
+        std::max(opts.gap_abs, opts.gap_rel * std::fabs(incumbent_obj));
+    if (rel.objective >= incumbent_obj - node_margin) continue;
+
+    const int branch = pick_branch_var(lp, rel.x, opts.int_tol);
+    if (branch < 0) {
+      // Integral: new incumbent.
+      std::vector<double> xi = rel.x;
+      for (int v = 0; v < n; ++v) {
+        if (lp.is_integer(v)) xi[v] = std::round(xi[v]);
+      }
+      const double obj = lp.objective_value(xi);
+      if (obj < incumbent_obj - opts.gap_abs) {
+        incumbent_obj = obj;
+        res.x = std::move(xi);
+        res.has_incumbent = true;
+        res.objective = obj;
+        const double now = clock.elapsed_seconds();
+        if (res.time_to_first_incumbent < 0) {
+          res.time_to_first_incumbent = now;
+        }
+        res.time_to_best_incumbent = now;
+        res.incumbents.push_back({now, obj, res.nodes_explored});
+      }
+      continue;
+    }
+
+    // Branch: floor side and ceil side.
+    const double xb = rel.x[branch];
+    Node down = nd;
+    down.upper[branch] = std::floor(xb);
+    down.parent_bound = rel.objective;
+    down.depth = nd.depth + 1;
+    Node up = nd;
+    up.lower[branch] = std::ceil(xb);
+    up.parent_bound = rel.objective;
+    up.depth = nd.depth + 1;
+    if (opts.depth_first) {
+      // Push the floor side last so the search dives toward f_v = 0
+      // ... actually dive toward the side nearest the LP value.
+      if (xb - std::floor(xb) > 0.5) {
+        push(std::move(down));
+        push(std::move(up));
+      } else {
+        push(std::move(up));
+        push(std::move(down));
+      }
+    } else {
+      push(std::move(down));
+      push(std::move(up));
+    }
+  }
+
+  res.time_total = clock.elapsed_seconds();
+  // The proven lower bound is the least bound among unexplored nodes;
+  // with the tree exhausted it is the incumbent itself.
+  const double open_bound = open_best_bound();
+  res.best_bound = std::isfinite(open_bound)
+                       ? open_bound
+                       : (res.has_incumbent ? incumbent_obj : kInf);
+  if (hit_limit) {
+    res.status = SolveStatus::kIterationLimit;
+  } else if (!res.has_incumbent) {
+    res.status = SolveStatus::kInfeasible;
+    (void)root_infeasible;
+  } else {
+    res.status = SolveStatus::kOptimal;
+    res.best_bound = res.objective;
+  }
+  return res;
+}
+
+}  // namespace wishbone::ilp

@@ -1,0 +1,81 @@
+// Branch and bound over the Simplex LP relaxation: the integer half of
+// the lp_solve replacement (§4.2.1 footnote 3: "branch-and-bound to
+// solve integer-constrained problems ... Simplex to solve linear
+// programming problems").
+//
+// The solver records an incumbent timeline because Fig. 6 plots two
+// different quantities: the time at which the optimal solution was
+// *discovered* (first incumbent equal to the final optimum) and the
+// time needed to *prove* optimality (search exhausted / gap closed).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ilp/model.hpp"
+#include "ilp/simplex.hpp"
+
+namespace wishbone::ilp {
+
+struct MipOptions {
+  double int_tol = 1e-6;        ///< integrality tolerance on LP solutions
+  double gap_abs = 1e-9;        ///< prune when bound >= incumbent - gap
+  /// Relative optimality gap: nodes within gap_rel * |incumbent| of the
+  /// incumbent are pruned (lp_solve-style MIP gap; keeps proof times
+  /// sane on instances with many near-optimal cuts).
+  double gap_rel = 1e-6;
+  double time_limit_s = kInf;   ///< wall-clock budget
+  std::size_t max_nodes = 1'000'000;
+  bool depth_first = false;     ///< default: best-bound-first
+  SimplexOptions lp;            ///< options for per-node LP solves
+  /// Optional feasible starting point (e.g. from a rounding heuristic);
+  /// installed as the incumbent at time zero if it checks out.
+  std::optional<std::vector<double>> warm_start;
+  /// Optional primal heuristic: called with the fractional LP solution
+  /// of shallow nodes (depth <= rounding_depth); may return a candidate
+  /// integral assignment, which is installed as the incumbent when it
+  /// is feasible and improving. Lets callers plug domain rounding (the
+  /// partitioner's threshold cut) without an extra LP solve.
+  std::function<std::optional<std::vector<double>>(
+      const std::vector<double>&)>
+      rounding_hook;
+  std::size_t rounding_depth = 1;
+};
+
+struct IncumbentRecord {
+  double time_s = 0.0;    ///< seconds since solve() began
+  double objective = 0.0;
+  std::size_t node = 0;   ///< B&B node index that produced it (0 = warm)
+};
+
+struct MipResult {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  double objective = 0.0;          ///< incumbent objective (if any)
+  std::vector<double> x;           ///< incumbent assignment
+  bool has_incumbent = false;
+  double best_bound = -kInf;       ///< proven lower bound at termination
+  std::size_t nodes_explored = 0;
+  std::size_t lp_iterations = 0;
+
+  // Fig. 6 instrumentation:
+  double time_to_first_incumbent = -1.0;  ///< -1 if none found
+  double time_to_best_incumbent = -1.0;   ///< when the optimum appeared
+  double time_total = 0.0;                ///< includes the proof phase
+  std::vector<IncumbentRecord> incumbents;
+
+  /// Absolute optimality gap at termination (0 when proved optimal).
+  [[nodiscard]] double gap() const {
+    return has_incumbent ? objective - best_bound : kInf;
+  }
+};
+
+class BranchAndBound {
+ public:
+  /// Solves the MIP. The model is taken by value because node expansion
+  /// rewrites variable bounds in place.
+  [[nodiscard]] MipResult solve(LinearProgram lp,
+                                const MipOptions& opts = {}) const;
+};
+
+}  // namespace wishbone::ilp

@@ -1,0 +1,55 @@
+// Bounded-variable revised primal Simplex with a dense basis inverse.
+//
+// This is the LP engine underneath branch and bound, standing in for
+// lp_solve's Simplex (§4.2.1 footnote 3). Integrality markers on the
+// model are ignored here — the solver optimizes the LP relaxation over
+// the current variable bounds, which is exactly what branch and bound
+// needs at each node.
+//
+// Method notes:
+//  - constraints are normalized to <= / == rows; every row gets a slack
+//    variable (free slack [0, inf) for <=, fixed slack [0, 0] for ==),
+//    so the all-slack basis always exists;
+//  - nonbasic variables sit at one of their finite bounds; a composite
+//    phase 1 drives bound violations of the basic variables to zero by
+//    minimizing total infeasibility with +/-1 costs, then phase 2
+//    minimizes the true objective;
+//  - Dantzig pricing with a Bland's-rule fallback after a run of
+//    degenerate pivots guards against cycling.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ilp/model.hpp"
+
+namespace wishbone::ilp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+struct LpSolution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;  ///< structural variable values (model order)
+  std::size_t iterations = 0;
+};
+
+struct SimplexOptions {
+  std::size_t max_iterations = 200'000;
+  double eps = 1e-7;          ///< feasibility / reduced-cost tolerance
+  double pivot_eps = 1e-9;    ///< minimum admissible pivot magnitude
+};
+
+class SimplexSolver {
+ public:
+  /// Solves the LP relaxation of `lp` over its current variable bounds.
+  [[nodiscard]] LpSolution solve(const LinearProgram& lp,
+                                 const SimplexOptions& opts = {}) const;
+};
+
+}  // namespace wishbone::ilp

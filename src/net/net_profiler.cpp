@@ -1,0 +1,43 @@
+#include "net/net_profiler.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace wishbone::net {
+
+NetProfileResult profile_network(const RadioModel& radio,
+                                 const TreeTopology& topo,
+                                 double target_reception,
+                                 double start_bytes_per_sec,
+                                 double stop_bytes_per_sec,
+                                 std::size_t steps) {
+  WB_REQUIRE(target_reception > 0.0 && target_reception <= 1.0,
+             "target reception must be in (0,1]");
+  WB_REQUIRE(start_bytes_per_sec > 0.0 &&
+                 stop_bytes_per_sec > start_bytes_per_sec,
+             "bad sweep bracket");
+  WB_REQUIRE(steps >= 2, "need at least two sweep steps");
+
+  NetProfileResult res;
+  const double ratio = std::pow(stop_bytes_per_sec / start_bytes_per_sec,
+                                1.0 / static_cast<double>(steps - 1));
+  double rate = start_bytes_per_sec;
+  for (std::size_t i = 0; i < steps; ++i, rate *= ratio) {
+    NetProfilePoint pt;
+    pt.per_node_payload_bytes_per_sec = rate;
+    pt.per_node_msgs_per_sec = radio.message_rate(rate);
+    pt.reception_ratio = topo.delivery_fraction(radio, rate);
+    pt.delivered_payload_bytes_per_sec = rate * pt.reception_ratio;
+    res.sweep.push_back(pt);
+    if (pt.reception_ratio >= target_reception &&
+        rate > res.max_payload_bytes_per_sec) {
+      res.max_payload_bytes_per_sec = rate;
+      res.max_msgs_per_sec = pt.per_node_msgs_per_sec;
+      res.reception_at_max = pt.reception_ratio;
+    }
+  }
+  return res;
+}
+
+}  // namespace wishbone::net

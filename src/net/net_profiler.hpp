@@ -1,0 +1,42 @@
+// Network profiling tool (§7.3.1): "Our profiling tool takes as input a
+// target reception rate (e.g. 90%), and returns a maximum send rate (in
+// msgs/sec and bytes/sec) that the network can maintain."
+//
+// The tool gradually increases the per-node send rate on the simulated
+// testbed, measuring delivery at each step (mirroring the portable
+// WaveScript measurement program), then reports the highest rate whose
+// reception ratio meets the target. Within that bound, sending more
+// data yields more received data — the monotonicity assumption the
+// §4.3 rate search depends on.
+#pragma once
+
+#include <vector>
+
+#include "net/radio.hpp"
+#include "net/topology.hpp"
+
+namespace wishbone::net {
+
+struct NetProfilePoint {
+  double per_node_payload_bytes_per_sec = 0.0;
+  double per_node_msgs_per_sec = 0.0;
+  double reception_ratio = 0.0;
+  double delivered_payload_bytes_per_sec = 0.0;  ///< per node
+};
+
+struct NetProfileResult {
+  std::vector<NetProfilePoint> sweep;  ///< the measured rate ramp
+  double max_payload_bytes_per_sec = 0.0;  ///< per node, meeting target
+  double max_msgs_per_sec = 0.0;
+  double reception_at_max = 0.0;
+};
+
+/// Ramps the send rate from `start` to `stop` bytes/s (payload, per
+/// node) in `steps` multiplicative steps and returns the sweep plus the
+/// highest rate meeting `target_reception`.
+[[nodiscard]] NetProfileResult profile_network(
+    const RadioModel& radio, const TreeTopology& topo,
+    double target_reception = 0.9, double start_bytes_per_sec = 10.0,
+    double stop_bytes_per_sec = 1e6, std::size_t steps = 64);
+
+}  // namespace wishbone::net

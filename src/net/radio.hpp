@@ -1,0 +1,51 @@
+// Radio channel model for the deployment simulator (§7.3.1).
+//
+// The paper characterizes its 20-node TMote testbed as: "each node has
+// a baseline packet drop rate that stays steady over a range of sending
+// rates, and then at some point drops off dramatically as the network
+// becomes excessively congested." This model reproduces exactly that
+// shape: a flat baseline delivery ratio up to the channel's on-air
+// capacity, then a sharply super-linear congestion collapse beyond it
+// (delivery falls faster than capacity/load, so offering *more* data
+// yields *fewer* delivered bytes — the regime §4.3 warns about).
+#pragma once
+
+#include <cstdint>
+
+namespace wishbone::net {
+
+struct RadioModel {
+  double payload_bytes = 28.0;       ///< application payload per message
+  double header_bytes = 11.0;        ///< link/network header per message
+  double capacity_bytes_per_sec = 0; ///< sustainable collection capacity
+  double tx_bytes_per_sec = 0;       ///< single-link raw transmit rate
+  double baseline_delivery = 0.95;   ///< flat delivery below saturation
+  /// Overload factor (offered/capacity) up to which CSMA degrades
+  /// gracefully: delivered ~= capacity (delivery ~ 1/x). Beyond the
+  /// knee the channel collapses super-linearly with exponent gamma.
+  double saturation_knee = 4.0;
+  double collapse_exponent = 4.0;    ///< gamma: steepness of collapse
+
+  /// Fraction of sent messages delivered when the aggregate on-air load
+  /// is `offered_bytes_per_sec` (headers included).
+  [[nodiscard]] double delivery_fraction(double offered_bytes_per_sec) const;
+
+  /// Delivered payload bytes/s at a given aggregate *payload* sending
+  /// rate (headers are added internally).
+  [[nodiscard]] double goodput(double payload_bytes_per_sec) const;
+
+  /// On-air bytes/s for a payload rate (adds per-message headers).
+  [[nodiscard]] double on_air(double payload_bytes_per_sec) const;
+
+  /// Messages/s needed for a payload rate.
+  [[nodiscard]] double message_rate(double payload_bytes_per_sec) const;
+};
+
+/// CC2420-class channel as used by the TMote testbed.
+[[nodiscard]] RadioModel cc2420_radio();
+
+/// 802.11-class channel for the Meraki / phone platforms (>= 10x the
+/// mote bandwidth, §7.3.1).
+[[nodiscard]] RadioModel wifi_radio();
+
+}  // namespace wishbone::net

@@ -1,0 +1,37 @@
+// Monte-Carlo channel: per-message Bernoulli delivery draws against the
+// analytic RadioModel, for experiments that need realistic run-to-run
+// variance (the analytic model returns expectations). Deterministic
+// under a fixed seed.
+#pragma once
+
+#include <cstdint>
+
+#include "net/radio.hpp"
+#include "net/topology.hpp"
+
+namespace wishbone::net {
+
+class StochasticChannel {
+ public:
+  StochasticChannel(RadioModel radio, TreeTopology topo, std::uint32_t seed);
+
+  /// Draws one message outcome at the given aggregate per-node payload
+  /// sending rate (bytes/s).
+  [[nodiscard]] bool try_deliver(double per_node_payload_rate);
+
+  /// Sends `messages` at the given rate; returns how many arrived.
+  [[nodiscard]] std::uint64_t deliver_count(double per_node_payload_rate,
+                                            std::uint64_t messages);
+
+  [[nodiscard]] const RadioModel& radio() const { return radio_; }
+  [[nodiscard]] const TreeTopology& topology() const { return topo_; }
+
+ private:
+  RadioModel radio_;
+  TreeTopology topo_;
+  std::uint64_t state_;  ///< xorshift64* PRNG state
+
+  double next_uniform();
+};
+
+}  // namespace wishbone::net

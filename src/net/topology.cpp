@@ -1,0 +1,44 @@
+#include "net/topology.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace wishbone::net {
+
+TreeTopology::TreeTopology(std::size_t num_nodes, std::size_t fanout)
+    : num_nodes_(num_nodes) {
+  WB_REQUIRE(num_nodes >= 1, "topology needs at least one node");
+  WB_REQUIRE(fanout >= 2, "tree fanout must be >= 2");
+  // Mean depth of a balanced `fanout`-ary collection tree.
+  double total_hops = 0.0;
+  std::size_t placed = 0;
+  std::size_t level = 1;
+  std::size_t level_capacity = fanout;
+  while (placed < num_nodes) {
+    const std::size_t here = std::min(level_capacity, num_nodes - placed);
+    total_hops += static_cast<double>(here) * static_cast<double>(level);
+    placed += here;
+    level_capacity *= fanout;
+    ++level;
+  }
+  avg_hops_ = total_hops / static_cast<double>(num_nodes);
+}
+
+double TreeTopology::aggregate_on_air(const RadioModel& radio,
+                                      double per_node_payload) const {
+  return radio.on_air(per_node_payload) *
+         static_cast<double>(num_nodes_) * avg_hops_;
+}
+
+double TreeTopology::delivery_fraction(const RadioModel& radio,
+                                       double per_node_payload) const {
+  const double offered = aggregate_on_air(radio, per_node_payload);
+  // Baseline (link-quality) loss compounds per hop, but congestion
+  // loss is charged once: the overloaded resource is the single link
+  // at the root of the routing tree (§7.3), not every hop.
+  const double congested = radio.delivery_fraction(offered);
+  return std::pow(radio.baseline_delivery, avg_hops_ - 1.0) * congested;
+}
+
+}  // namespace wishbone::net

@@ -1,0 +1,42 @@
+// Routing-tree topology: all traffic funnels through the link at the
+// root of the collection tree, which is the shared bottleneck the paper
+// identifies ("a many node network is limited by the same bottleneck as
+// a network of only one node: the single link at the root of the
+// routing tree", §7.3).
+#pragma once
+
+#include <cstddef>
+
+#include "net/radio.hpp"
+
+namespace wishbone::net {
+
+class TreeTopology {
+ public:
+  /// `num_nodes` leaves/relays all reporting to one basestation. The
+  /// average hop count grows logarithmically with the network size
+  /// (balanced collection tree with the given fanout).
+  explicit TreeTopology(std::size_t num_nodes, std::size_t fanout = 4);
+
+  [[nodiscard]] std::size_t num_nodes() const { return num_nodes_; }
+
+  /// Mean hops from a node to the basestation.
+  [[nodiscard]] double average_hops() const { return avg_hops_; }
+
+  /// Aggregate on-air load when every node sends `per_node_payload`
+  /// payload bytes/s: every message occupies the shared medium once per
+  /// hop it travels.
+  [[nodiscard]] double aggregate_on_air(const RadioModel& radio,
+                                        double per_node_payload) const;
+
+  /// Fraction of messages delivered to the basestation when every node
+  /// offers `per_node_payload` bytes/s of payload.
+  [[nodiscard]] double delivery_fraction(const RadioModel& radio,
+                                         double per_node_payload) const;
+
+ private:
+  std::size_t num_nodes_;
+  double avg_hops_;
+};
+
+}  // namespace wishbone::net

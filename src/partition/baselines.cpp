@@ -1,0 +1,153 @@
+#include "partition/baselines.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace wishbone::partition {
+
+namespace {
+
+BaselineResult evaluate_candidate(const PartitionProblem& p,
+                                  std::vector<Side> sides,
+                                  BaselineResult best, std::size_t* seen) {
+  ++*seen;
+  const AssignmentEval ev = evaluate_assignment(p, sides);
+  if (!ev.respects_pins || !ev.unidirectional || !ev.feasible(p)) {
+    return best;
+  }
+  const double obj = objective_of(p, ev);
+  if (!best.feasible || obj < best.objective - 1e-12) {
+    best.feasible = true;
+    best.sides = std::move(sides);
+    best.objective = obj;
+    best.cpu_used = ev.cpu;
+    best.net_used = ev.net;
+  }
+  return best;
+}
+
+}  // namespace
+
+BaselineResult exhaustive_partition(const PartitionProblem& p) {
+  p.check();
+  std::vector<std::size_t> movable;
+  for (std::size_t v = 0; v < p.vertices.size(); ++v) {
+    if (p.vertices[v].req == Requirement::kMovable) movable.push_back(v);
+  }
+  WB_REQUIRE(movable.size() <= 24,
+             "exhaustive_partition: too many movable vertices");
+
+  std::vector<Side> base(p.vertices.size(), Side::kServer);
+  for (std::size_t v = 0; v < p.vertices.size(); ++v) {
+    if (p.vertices[v].req == Requirement::kNode) base[v] = Side::kNode;
+  }
+
+  BaselineResult best;
+  std::size_t seen = 0;
+  const std::size_t combos = std::size_t{1} << movable.size();
+  for (std::size_t mask = 0; mask < combos; ++mask) {
+    std::vector<Side> sides = base;
+    for (std::size_t i = 0; i < movable.size(); ++i) {
+      sides[movable[i]] =
+          (mask >> i) & 1 ? Side::kNode : Side::kServer;
+    }
+    best = evaluate_candidate(p, std::move(sides), std::move(best), &seen);
+  }
+  best.evaluated = seen;
+  return best;
+}
+
+std::vector<PipelineCut> pipeline_cuts(const PartitionProblem& p) {
+  p.check();
+  // Verify the DAG is one chain.
+  std::vector<std::size_t> indeg(p.vertices.size(), 0),
+      outdeg(p.vertices.size(), 0);
+  for (const ProblemEdge& e : p.edges) {
+    ++outdeg[e.from];
+    ++indeg[e.to];
+  }
+  for (std::size_t v = 0; v < p.vertices.size(); ++v) {
+    WB_REQUIRE(indeg[v] <= 1 && outdeg[v] <= 1,
+               "pipeline_cuts: problem is not a linear chain");
+  }
+  const std::vector<std::size_t> order = p.topo_order();
+
+  std::vector<PipelineCut> cuts;
+  cuts.reserve(p.vertices.size() + 1);
+  for (std::size_t prefix = 0; prefix <= order.size(); ++prefix) {
+    std::vector<Side> sides(p.vertices.size(), Side::kServer);
+    for (std::size_t i = 0; i < prefix; ++i) sides[order[i]] = Side::kNode;
+    const AssignmentEval ev = evaluate_assignment(p, sides);
+    PipelineCut c;
+    c.prefix_len = prefix;
+    c.feasible = ev.respects_pins && ev.unidirectional && ev.feasible(p);
+    c.objective = objective_of(p, ev);
+    c.cpu_used = ev.cpu;
+    c.net_used = ev.net;
+    cuts.push_back(c);
+  }
+  return cuts;
+}
+
+BaselineResult greedy_partition(const PartitionProblem& p) {
+  p.check();
+  std::vector<std::vector<std::size_t>> preds(p.vertices.size());
+  for (const ProblemEdge& e : p.edges) preds[e.to].push_back(e.from);
+
+  std::vector<Side> sides(p.vertices.size(), Side::kServer);
+  for (std::size_t v = 0; v < p.vertices.size(); ++v) {
+    if (p.vertices[v].req == Requirement::kNode) sides[v] = Side::kNode;
+  }
+
+  std::size_t seen = 0;
+  AssignmentEval cur = evaluate_assignment(p, sides);
+  for (;;) {
+    // Frontier: movable server vertices whose predecessors are all on
+    // the node (keeps the cut unidirectional).
+    std::size_t best_v = static_cast<std::size_t>(-1);
+    double best_obj = std::numeric_limits<double>::infinity();
+    AssignmentEval best_ev;
+    for (std::size_t v = 0; v < p.vertices.size(); ++v) {
+      if (sides[v] == Side::kNode) continue;
+      if (p.vertices[v].req != Requirement::kMovable) continue;
+      bool frontier = true;
+      for (std::size_t u : preds[v]) {
+        if (sides[u] != Side::kNode) {
+          frontier = false;
+          break;
+        }
+      }
+      if (!frontier) continue;
+      sides[v] = Side::kNode;
+      const AssignmentEval ev = evaluate_assignment(p, sides);
+      ++seen;
+      sides[v] = Side::kServer;
+      if (ev.cpu > p.cpu_budget + 1e-9) continue;
+      const double obj = objective_of(p, ev);
+      if (obj < best_obj) {
+        best_obj = obj;
+        best_v = v;
+        best_ev = ev;
+      }
+    }
+    if (best_v == static_cast<std::size_t>(-1)) break;
+    const bool cur_net_infeasible = cur.net > p.net_budget + 1e-9;
+    const bool improves = best_obj < objective_of(p, cur) - 1e-12;
+    if (!improves && !cur_net_infeasible) break;
+    sides[best_v] = Side::kNode;
+    cur = best_ev;
+  }
+
+  BaselineResult res;
+  res.evaluated = seen;
+  res.sides = sides;
+  res.cpu_used = cur.cpu;
+  res.net_used = cur.net;
+  res.objective = objective_of(p, cur);
+  res.feasible = cur.respects_pins && cur.unidirectional && cur.feasible(p);
+  return res;
+}
+
+}  // namespace wishbone::partition

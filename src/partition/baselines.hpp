@@ -1,0 +1,53 @@
+// Baseline partitioners used to validate and ablate the ILP approach:
+//
+//  - exhaustive_partition: enumerates every assignment of the movable
+//    vertices (ground truth for small graphs in tests and benches);
+//  - pipeline_cuts: enumerates the cut points of a linear pipeline —
+//    the "brute force testing of all cut points" the paper notes would
+//    suffice for the 8-operator speech application (§7.2);
+//  - greedy_partition: list-scheduling-flavoured heuristic that grows
+//    the node partition along the data flow while the objective
+//    improves — representative of the non-optimal heuristics (METIS /
+//    list scheduling) that §4 argues are a poor fit.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "partition/problem.hpp"
+
+namespace wishbone::partition {
+
+struct BaselineResult {
+  bool feasible = false;
+  std::vector<Side> sides;
+  double objective = 0.0;
+  double cpu_used = 0.0;
+  double net_used = 0.0;
+  std::size_t evaluated = 0;  ///< assignments examined
+};
+
+/// Exact search over all 2^k assignments of the k movable vertices,
+/// restricted to unidirectional cuts. Throws if k > 24.
+[[nodiscard]] BaselineResult exhaustive_partition(const PartitionProblem& p);
+
+/// For a problem whose DAG is a single chain: tries every prefix cut
+/// (prefix on the node, suffix on the server). Index i of `cut_results`
+/// keeps the first i chain vertices on the node. Throws if the problem
+/// is not a chain.
+struct PipelineCut {
+  std::size_t prefix_len = 0;
+  bool feasible = false;
+  double objective = 0.0;
+  double cpu_used = 0.0;
+  double net_used = 0.0;
+};
+[[nodiscard]] std::vector<PipelineCut> pipeline_cuts(
+    const PartitionProblem& p);
+
+/// Greedy: start with only the node-pinned vertices on the node, then
+/// repeatedly move the frontier vertex with the best objective delta
+/// while the CPU budget allows. Not optimal; used for ablation.
+[[nodiscard]] BaselineResult greedy_partition(const PartitionProblem& p);
+
+}  // namespace wishbone::partition

@@ -1,0 +1,134 @@
+#include "partition/preprocess.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace wishbone::partition {
+
+namespace {
+
+bool pins_compatible(Requirement a, Requirement b) {
+  return !((a == Requirement::kNode && b == Requirement::kServer) ||
+           (a == Requirement::kServer && b == Requirement::kNode));
+}
+
+Requirement merge_req(Requirement a, Requirement b) {
+  WB_ASSERT(pins_compatible(a, b));
+  if (a == Requirement::kMovable) return b;
+  return a;
+}
+
+}  // namespace
+
+PartitionProblem preprocess(const PartitionProblem& p,
+                            PreprocessStats* stats) {
+  p.check();
+  PartitionProblem cur = p;
+  // Hand-built problems may omit the op mapping; seed it with vertex
+  // ids so merged clusters stay traceable.
+  for (std::size_t v = 0; v < cur.vertices.size(); ++v) {
+    if (cur.vertices[v].ops.empty()) cur.vertices[v].ops = {v};
+  }
+  std::size_t rounds = 0;
+
+  for (;;) {
+    ++rounds;
+    const std::size_t n = cur.vertices.size();
+    std::vector<std::size_t> out_deg(n, 0), in_deg(n, 0);
+    std::vector<double> in_bw(n, 0.0);
+    std::vector<std::size_t> only_out_edge(n, static_cast<std::size_t>(-1));
+    for (std::size_t ei = 0; ei < cur.edges.size(); ++ei) {
+      const ProblemEdge& e = cur.edges[ei];
+      ++out_deg[e.from];
+      ++in_deg[e.to];
+      in_bw[e.to] += e.bandwidth;
+      only_out_edge[e.from] = ei;
+    }
+
+    // Union-find over vertices for this round's contractions.
+    std::vector<std::size_t> parent(n);
+    for (std::size_t v = 0; v < n; ++v) parent[v] = v;
+    auto find = [&](std::size_t v) {
+      while (parent[v] != v) {
+        parent[v] = parent[parent[v]];
+        v = parent[v];
+      }
+      return v;
+    };
+
+    std::size_t merges = 0;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (out_deg[u] != 1 || in_deg[u] == 0) continue;
+      const ProblemEdge& e = cur.edges[only_out_edge[u]];
+      const std::size_t v = e.to;
+      if (e.bandwidth + 1e-12 < in_bw[u]) continue;  // u reduces data
+      const Requirement ru = cur.vertices[find(u)].req;
+      const Requirement rv = cur.vertices[find(v)].req;
+      // If u is node-pinned, u->v may be a required cut point unless v
+      // is node-pinned too.
+      if (ru == Requirement::kNode && rv != Requirement::kNode) continue;
+      if (!pins_compatible(ru, rv)) continue;
+      const std::size_t a = find(u);
+      const std::size_t b = find(v);
+      if (a == b) continue;
+      parent[b] = a;
+      cur.vertices[a].req = merge_req(ru, rv);
+      ++merges;
+    }
+
+    if (merges == 0) break;
+
+    // Build the condensed problem for the next round.
+    std::vector<std::size_t> cluster_id(n, static_cast<std::size_t>(-1));
+    PartitionProblem next;
+    next.cpu_budget = cur.cpu_budget;
+    next.net_budget = cur.net_budget;
+    next.ram_budget = cur.ram_budget;
+    next.rom_budget = cur.rom_budget;
+    next.alpha = cur.alpha;
+    next.beta = cur.beta;
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::size_t root = find(v);
+      if (cluster_id[root] == static_cast<std::size_t>(-1)) {
+        cluster_id[root] = next.vertices.size();
+        ProblemVertex pv;
+        pv.name = cur.vertices[root].name;
+        pv.req = cur.vertices[root].req;
+        next.vertices.push_back(std::move(pv));
+      }
+      ProblemVertex& cl = next.vertices[cluster_id[root]];
+      cl.cpu += cur.vertices[v].cpu;
+      cl.ram_bytes += cur.vertices[v].ram_bytes;
+      cl.rom_bytes += cur.vertices[v].rom_bytes;
+      cl.ops.insert(cl.ops.end(), cur.vertices[v].ops.begin(),
+                    cur.vertices[v].ops.end());
+      if (v != root) cl.name += "+" + cur.vertices[v].name;
+    }
+    // Sum parallel inter-cluster edges; drop intra-cluster ones.
+    std::map<std::pair<std::size_t, std::size_t>, double> agg;
+    for (const ProblemEdge& e : cur.edges) {
+      const std::size_t a = cluster_id[find(e.from)];
+      const std::size_t b = cluster_id[find(e.to)];
+      if (a == b) continue;
+      agg[{a, b}] += e.bandwidth;
+    }
+    for (const auto& [key, bw] : agg) {
+      next.edges.push_back(ProblemEdge{key.first, key.second, bw});
+    }
+    next.check();
+    cur = std::move(next);
+  }
+
+  if (stats != nullptr) {
+    stats->vertices_before = p.vertices.size();
+    stats->vertices_after = cur.vertices.size();
+    stats->edges_before = p.edges.size();
+    stats->edges_after = cur.edges.size();
+    stats->rounds = rounds;
+  }
+  return cur;
+}
+
+}  // namespace wishbone::partition

@@ -1,0 +1,41 @@
+// Graph preprocessing (§4.1): eliminate edges that can never be viable
+// cut points by merging data-neutral / data-expanding operators with
+// their downstream operator, shrinking the ILP without losing optimal
+// solutions.
+//
+// We contract an edge u -> v exactly when all of the following hold,
+// which together guarantee optimality preservation and acyclicity:
+//  - u has out-degree 1, so every path leaving u starts with the
+//    contracted edge and no alternate u ~> v path can close a cycle;
+//  - bandwidth(u->v) >= total input bandwidth of u (u is data-neutral
+//    or data-expanding): any cut on u->v can be moved to u's input
+//    edges without increasing bandwidth, while u moving to the server
+//    strictly relieves node CPU;
+//  - u is not node-pinned (if it were, no cut above u exists and u->v
+//    could be a required cut point) — unless v is itself node-pinned,
+//    in which case u->v can never be cut anyway;
+//  - the merged cluster's pins are consistent (never node+server).
+//
+// Contraction repeats to a fixed point, so whole chains of neutral
+// operators collapse into their first data-reducing successor.
+#pragma once
+
+#include "partition/problem.hpp"
+
+namespace wishbone::partition {
+
+struct PreprocessStats {
+  std::size_t vertices_before = 0;
+  std::size_t vertices_after = 0;
+  std::size_t edges_before = 0;
+  std::size_t edges_after = 0;
+  std::size_t rounds = 0;
+};
+
+/// Returns the condensed problem. Vertex `ops` lists are unioned so the
+/// result still maps back to original operators; budgets and objective
+/// weights are copied through.
+[[nodiscard]] PartitionProblem preprocess(const PartitionProblem& p,
+                                          PreprocessStats* stats = nullptr);
+
+}  // namespace wishbone::partition

@@ -1,0 +1,53 @@
+#include "partition/rate_search.hpp"
+
+#include "util/assert.hpp"
+
+namespace wishbone::partition {
+
+RateSearchResult max_sustainable_rate(
+    const std::function<PartitionProblem(double)>& problem_at,
+    const RateSearchOptions& opts) {
+  WB_REQUIRE(opts.min_rate > 0 && opts.max_rate > opts.min_rate,
+             "rate search: bad bracket");
+  RateSearchResult res;
+
+  auto attempt = [&](double rate) {
+    ++res.partitions_solved;
+    return solve_partition(problem_at(rate), opts.partition);
+  };
+
+  // Fast path: everything fits at the top of the bracket.
+  PartitionResult top = attempt(opts.max_rate);
+  if (top.feasible) {
+    res.any_feasible = true;
+    res.max_rate = opts.max_rate;
+    res.partition_at_max = std::move(top);
+    return res;
+  }
+  PartitionResult bottom = attempt(opts.min_rate);
+  if (!bottom.feasible) {
+    return res;  // nothing fits even at the minimum rate
+  }
+
+  double lo = opts.min_rate;   // known feasible
+  double hi = opts.max_rate;   // known infeasible
+  res.any_feasible = true;
+  res.max_rate = lo;
+  res.partition_at_max = std::move(bottom);
+
+  for (std::size_t i = 0;
+       i < opts.max_iterations && (hi - lo) > opts.rel_tol * lo; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    PartitionResult r = attempt(mid);
+    if (r.feasible) {
+      lo = mid;
+      res.max_rate = mid;
+      res.partition_at_max = std::move(r);
+    } else {
+      hi = mid;
+    }
+  }
+  return res;
+}
+
+}  // namespace wishbone::partition

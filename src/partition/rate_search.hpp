@@ -1,0 +1,36 @@
+// Data rate as a free variable (§4.3): when no partition fits at the
+// requested rate, binary-search the largest input rate that still
+// admits a feasible partition. Validity rests on the monotonicity
+// argument of §4.3: CPU and network load scale (at least weakly)
+// monotonically with the input rate, so feasibility is a downward-
+// closed property of the rate.
+#pragma once
+
+#include <functional>
+
+#include "partition/partitioner.hpp"
+
+namespace wishbone::partition {
+
+struct RateSearchOptions {
+  double min_rate = 1e-3;     ///< lower bracket (events/s)
+  double max_rate = 1e6;      ///< upper bracket (events/s)
+  double rel_tol = 0.01;      ///< terminate when hi-lo <= rel_tol*lo
+  std::size_t max_iterations = 60;
+  PartitionOptions partition;
+};
+
+struct RateSearchResult {
+  bool any_feasible = false;
+  double max_rate = 0.0;            ///< highest rate proven feasible
+  PartitionResult partition_at_max; ///< the cut found at that rate
+  std::size_t partitions_solved = 0;
+};
+
+/// `problem_at(rate)` must build the partition problem for a given
+/// source event rate (typically by rescaling profile data).
+[[nodiscard]] RateSearchResult max_sustainable_rate(
+    const std::function<PartitionProblem(double)>& problem_at,
+    const RateSearchOptions& opts = {});
+
+}  // namespace wishbone::partition

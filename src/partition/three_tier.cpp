@@ -1,0 +1,265 @@
+#include "partition/three_tier.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace wishbone::partition {
+
+void ThreeTierProblem::check() const {
+  WB_REQUIRE(!vertices.empty(), "three-tier problem has no vertices");
+  for (const ThreeTierVertex& v : vertices) {
+    WB_REQUIRE(v.cpu_mote >= 0.0 && v.cpu_micro >= 0.0,
+               "negative CPU weight on '" + v.name + "'");
+    WB_REQUIRE(static_cast<int>(v.range.min) <= static_cast<int>(v.range.max),
+               "empty tier range on '" + v.name + "'");
+  }
+  for (const ThreeTierEdge& e : edges) {
+    WB_REQUIRE(e.from < vertices.size() && e.to < vertices.size(),
+               "edge endpoint out of range");
+    WB_REQUIRE(e.from != e.to, "self-loop");
+    WB_REQUIRE(e.bandwidth >= 0.0, "negative bandwidth");
+  }
+  WB_REQUIRE(mote_cpu_budget >= 0 && micro_cpu_budget >= 0 &&
+                 mote_net_budget >= 0 && micro_net_budget >= 0,
+             "negative budget");
+}
+
+bool TierEval::feasible(const ThreeTierProblem& p) const {
+  return respects_range && monotone &&
+         mote_cpu <= p.mote_cpu_budget + 1e-9 &&
+         micro_cpu <= p.micro_cpu_budget + 1e-9 &&
+         mote_net <= p.mote_net_budget + 1e-9 &&
+         micro_net <= p.micro_net_budget + 1e-9;
+}
+
+TierEval evaluate_tiers(const ThreeTierProblem& p,
+                        const std::vector<Tier>& tiers) {
+  WB_REQUIRE(tiers.size() == p.vertices.size(), "tier vector size mismatch");
+  TierEval ev;
+  for (std::size_t v = 0; v < tiers.size(); ++v) {
+    const int t = static_cast<int>(tiers[v]);
+    if (t < static_cast<int>(p.vertices[v].range.min) ||
+        t > static_cast<int>(p.vertices[v].range.max)) {
+      ev.respects_range = false;
+    }
+    if (tiers[v] == Tier::kMote) ev.mote_cpu += p.vertices[v].cpu_mote;
+    if (tiers[v] == Tier::kMicro) ev.micro_cpu += p.vertices[v].cpu_micro;
+  }
+  for (const ThreeTierEdge& e : p.edges) {
+    const int tu = static_cast<int>(tiers[e.from]);
+    const int tv = static_cast<int>(tiers[e.to]);
+    if (tu > tv) ev.monotone = false;
+    if (tu < 1 && tv >= 1) ev.mote_net += e.bandwidth;
+    if (tu < 2 && tv >= 2) ev.micro_net += e.bandwidth;
+  }
+  return ev;
+}
+
+double tier_objective(const ThreeTierProblem& p, const TierEval& ev) {
+  return p.alpha_mote * ev.mote_cpu + p.alpha_micro * ev.micro_cpu +
+         p.beta_mote * ev.mote_net + p.beta_micro * ev.micro_net;
+}
+
+ThreeTierResult solve_three_tier(const ThreeTierProblem& p,
+                                 const ilp::MipOptions& mip) {
+  p.check();
+  const std::size_t n = p.vertices.size();
+  ilp::LinearProgram lp;
+
+  // Variables: g_v then h_v, with pinning via bounds and linearized
+  // network terms in the objective coefficients:
+  //   net1 = sum_e r_e (g_to - g_from), net2 likewise over h.
+  std::vector<double> g_net(n, 0.0), h_net(n, 0.0);
+  for (const ThreeTierEdge& e : p.edges) {
+    g_net[e.to] += e.bandwidth;
+    g_net[e.from] -= e.bandwidth;
+    h_net[e.to] += e.bandwidth;
+    h_net[e.from] -= e.bandwidth;
+  }
+  // CPU objective terms: cpu1 = sum (1-g) c1 (the constant part drops
+  // out of the argmin); cpu2 = sum (g - h) c2. The reported objective
+  // is recomputed from the decoded tiers, constants included.
+  for (std::size_t v = 0; v < n; ++v) {
+    const double g_obj = p.beta_mote * g_net[v] -
+                         p.alpha_mote * p.vertices[v].cpu_mote +
+                         p.alpha_micro * p.vertices[v].cpu_micro;
+    const int g = lp.add_binary("g_" + p.vertices[v].name, g_obj);
+    WB_ASSERT(g == static_cast<int>(v));
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    const double h_obj = p.beta_micro * h_net[v] -
+                         p.alpha_micro * p.vertices[v].cpu_micro;
+    const int h = lp.add_binary("h_" + p.vertices[v].name, h_obj);
+    WB_ASSERT(h == static_cast<int>(n + v));
+  }
+  // Pin via bounds: min tier m: g >= [m>=1], h >= [m>=2]; max tier M:
+  // g <= [M>=1], h <= [M>=2].
+  for (std::size_t v = 0; v < n; ++v) {
+    const int mn = static_cast<int>(p.vertices[v].range.min);
+    const int mx = static_cast<int>(p.vertices[v].range.max);
+    lp.set_bounds(static_cast<int>(v), mn >= 1 ? 1.0 : 0.0,
+                  mx >= 1 ? 1.0 : 0.0);
+    lp.set_bounds(static_cast<int>(n + v), mn >= 2 ? 1.0 : 0.0,
+                  mx >= 2 ? 1.0 : 0.0);
+  }
+
+  auto le = [&](std::vector<std::pair<int, double>> terms, double rhs,
+                const std::string& name) {
+    ilp::Constraint c;
+    c.terms = std::move(terms);
+    c.rel = ilp::Relation::kLe;
+    c.rhs = rhs;
+    c.name = name;
+    lp.add_constraint(std::move(c));
+  };
+
+  // h_v <= g_v.
+  for (std::size_t v = 0; v < n; ++v) {
+    le({{static_cast<int>(n + v), 1.0}, {static_cast<int>(v), -1.0}}, 0.0,
+       "tier_order_" + p.vertices[v].name);
+  }
+  // Monotone along edges: g_from <= g_to, h_from <= h_to.
+  for (const ThreeTierEdge& e : p.edges) {
+    le({{static_cast<int>(e.from), 1.0}, {static_cast<int>(e.to), -1.0}},
+       0.0, "mono_g");
+    le({{static_cast<int>(n + e.from), 1.0},
+        {static_cast<int>(n + e.to), -1.0}},
+       0.0, "mono_h");
+  }
+  // Mote CPU: sum (1-g) c1 <= C1  ->  -sum g c1 <= C1 - sum c1.
+  {
+    std::vector<std::pair<int, double>> terms;
+    double total = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (p.vertices[v].cpu_mote != 0.0) {
+        terms.emplace_back(static_cast<int>(v), -p.vertices[v].cpu_mote);
+        total += p.vertices[v].cpu_mote;
+      }
+    }
+    le(std::move(terms), p.mote_cpu_budget - total, "mote_cpu");
+  }
+  // Microserver CPU: sum (g-h) c2 <= C2.
+  {
+    std::vector<std::pair<int, double>> terms;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (p.vertices[v].cpu_micro != 0.0) {
+        terms.emplace_back(static_cast<int>(v), p.vertices[v].cpu_micro);
+        terms.emplace_back(static_cast<int>(n + v),
+                           -p.vertices[v].cpu_micro);
+      }
+    }
+    le(std::move(terms), p.micro_cpu_budget, "micro_cpu");
+  }
+  // Network budgets.
+  {
+    std::vector<std::pair<int, double>> t1, t2;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (g_net[v] != 0.0) t1.emplace_back(static_cast<int>(v), g_net[v]);
+      if (h_net[v] != 0.0) {
+        t2.emplace_back(static_cast<int>(n + v), h_net[v]);
+      }
+    }
+    le(std::move(t1), p.mote_net_budget, "mote_net");
+    le(std::move(t2), p.micro_net_budget, "micro_net");
+  }
+
+  ilp::BranchAndBound bnb;
+  ThreeTierResult res;
+  res.solver = bnb.solve(lp, mip);
+  if (!res.solver.has_incumbent) return res;
+
+  res.tiers.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const bool g = res.solver.x[v] >= 0.5;
+    const bool h = res.solver.x[n + v] >= 0.5;
+    res.tiers[v] = h ? Tier::kServer : (g ? Tier::kMicro : Tier::kMote);
+  }
+  const TierEval ev = evaluate_tiers(p, res.tiers);
+  WB_ASSERT_MSG(ev.monotone && ev.respects_range,
+                "solver produced an invalid tier assignment");
+  res.feasible = true;
+  res.mote_cpu = ev.mote_cpu;
+  res.micro_cpu = ev.micro_cpu;
+  res.mote_net = ev.mote_net;
+  res.micro_net = ev.micro_net;
+  res.objective = tier_objective(p, ev);
+  return res;
+}
+
+ThreeTierProblem make_three_tier_problem(const graph::Graph& g,
+                                         const graph::PinAnalysis& pins,
+                                         const profile::ProfileData& pd,
+                                         const profile::PlatformModel& mote,
+                                         const profile::PlatformModel& micro,
+                                         double events_per_sec) {
+  WB_REQUIRE(events_per_sec > 0, "event rate must be positive");
+  WB_REQUIRE(pins.requirement.size() == g.num_operators(),
+             "pin analysis does not match graph");
+  ThreeTierProblem p;
+  for (graph::OperatorId v = 0; v < g.num_operators(); ++v) {
+    ThreeTierVertex tv;
+    tv.name = g.info(v).name;
+    tv.cpu_mote = pd.cpu_fraction(mote, v, events_per_sec);
+    tv.cpu_micro = pd.cpu_fraction(micro, v, events_per_sec);
+    switch (pins.requirement[v]) {
+      case graph::Requirement::kNode:
+        tv.range = {Tier::kMote, Tier::kMote};
+        break;
+      case graph::Requirement::kServer:
+        tv.range = {Tier::kServer, Tier::kServer};
+        break;
+      case graph::Requirement::kMovable:
+        tv.range = {Tier::kMote, Tier::kServer};
+        break;
+    }
+    p.vertices.push_back(std::move(tv));
+  }
+  for (std::size_t ei = 0; ei < g.num_edges(); ++ei) {
+    const graph::Edge& e = g.edges()[ei];
+    p.edges.push_back(
+        ThreeTierEdge{e.from, e.to, pd.bandwidth(ei, events_per_sec)});
+  }
+  p.mote_cpu_budget = mote.cpu_budget;
+  p.micro_cpu_budget = micro.cpu_budget;
+  p.mote_net_budget = mote.radio_bytes_per_sec;
+  p.micro_net_budget = micro.radio_bytes_per_sec;
+  p.alpha_mote = mote.alpha;
+  p.alpha_micro = micro.alpha;
+  p.beta_mote = mote.beta;
+  p.beta_micro = micro.beta;
+  p.check();
+  return p;
+}
+
+ThreeTierResult exhaustive_three_tier(const ThreeTierProblem& p) {
+  p.check();
+  const std::size_t n = p.vertices.size();
+  WB_REQUIRE(n <= 15, "exhaustive_three_tier: too many vertices");
+  ThreeTierResult best;
+  std::vector<Tier> tiers(n, Tier::kMote);
+  std::size_t combos = 1;
+  for (std::size_t v = 0; v < n; ++v) combos *= 3;
+  for (std::size_t code = 0; code < combos; ++code) {
+    std::size_t c = code;
+    for (std::size_t v = 0; v < n; ++v) {
+      tiers[v] = static_cast<Tier>(c % 3);
+      c /= 3;
+    }
+    const TierEval ev = evaluate_tiers(p, tiers);
+    if (!ev.feasible(p)) continue;
+    const double obj = tier_objective(p, ev);
+    if (!best.feasible || obj < best.objective - 1e-12) {
+      best.feasible = true;
+      best.tiers = tiers;
+      best.objective = obj;
+      best.mote_cpu = ev.mote_cpu;
+      best.micro_cpu = ev.micro_cpu;
+      best.mote_net = ev.mote_net;
+      best.micro_net = ev.micro_net;
+    }
+  }
+  return best;
+}
+
+}  // namespace wishbone::partition

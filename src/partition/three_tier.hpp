@@ -1,0 +1,112 @@
+// Three-tier partitioning (§9): motes report to microservers, which
+// report to the central server — "We have verified that we can use an
+// ILP approach for a restricted three tier network architecture.
+// (Motes communicate only to microservers, and microservers to the
+// central server.)"
+//
+// Encoding: each operator takes a tier t_v in {0 = mote, 1 = micro,
+// 2 = server}, expressed with two binaries
+//     g_v = [t_v >= 1]   (moved off the mote)
+//     h_v = [t_v >= 2]   (moved past the microserver)
+// with h_v <= g_v. The restricted (single-crossing per link) model
+// makes tiers non-decreasing along every edge: g_u <= g_v, h_u <= h_v.
+//
+//   mote-radio cut:      net1 = sum (g_v - g_u) r_uv
+//   microserver uplink:  net2 = sum (h_v - h_u) r_uv
+//   mote CPU:            sum (1 - g_v) c1_v <= C1
+//   microserver CPU:     sum (g_v - h_v) c2_v <= C2
+//   objective: min a1*cpu1 + a2*cpu2 + b1*net1 + b2*net2
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/pinning.hpp"
+#include "ilp/branch_and_bound.hpp"
+#include "profile/profiler.hpp"
+
+namespace wishbone::partition {
+
+enum class Tier : int { kMote = 0, kMicro = 1, kServer = 2 };
+
+/// Placement requirement in the three-tier model: the lowest and
+/// highest tier an operator may occupy.
+struct TierRange {
+  Tier min = Tier::kMote;
+  Tier max = Tier::kServer;
+};
+
+struct ThreeTierVertex {
+  std::string name;
+  double cpu_mote = 0.0;   ///< CPU fraction if placed on a mote
+  double cpu_micro = 0.0;  ///< CPU fraction if placed on the microserver
+  TierRange range;
+};
+
+struct ThreeTierEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  double bandwidth = 0.0;
+};
+
+struct ThreeTierProblem {
+  std::vector<ThreeTierVertex> vertices;
+  std::vector<ThreeTierEdge> edges;
+  double mote_cpu_budget = 1.0;
+  double micro_cpu_budget = 1.0;
+  double mote_net_budget = 0.0;   ///< mote radio capacity (bytes/s)
+  double micro_net_budget = 0.0;  ///< microserver uplink (bytes/s)
+  double alpha_mote = 0.0;
+  double alpha_micro = 0.0;
+  double beta_mote = 1.0;
+  double beta_micro = 1.0;
+
+  void check() const;
+};
+
+struct ThreeTierResult {
+  bool feasible = false;
+  std::vector<Tier> tiers;
+  double objective = 0.0;
+  double mote_cpu = 0.0;
+  double micro_cpu = 0.0;
+  double mote_net = 0.0;
+  double micro_net = 0.0;
+  ilp::MipResult solver;
+};
+
+/// Builds and solves the three-tier ILP.
+[[nodiscard]] ThreeTierResult solve_three_tier(
+    const ThreeTierProblem& p, const ilp::MipOptions& mip = {});
+
+/// Builds a three-tier problem from a profiled graph: mote CPU costs
+/// from `mote`, microserver CPU costs from `micro`, bandwidths at the
+/// given event rate. Pin analysis maps node-pinned operators to the
+/// mote tier and server-pinned ones to the server tier.
+[[nodiscard]] ThreeTierProblem make_three_tier_problem(
+    const graph::Graph& g, const graph::PinAnalysis& pins,
+    const profile::ProfileData& pd, const profile::PlatformModel& mote,
+    const profile::PlatformModel& micro, double events_per_sec);
+
+/// Exhaustive ground truth over monotone tier assignments (for tests;
+/// throws if the free-vertex count exceeds ~15).
+[[nodiscard]] ThreeTierResult exhaustive_three_tier(
+    const ThreeTierProblem& p);
+
+/// Evaluates a tier assignment; returns feasibility and resource use.
+struct TierEval {
+  bool respects_range = true;
+  bool monotone = true;  ///< tiers non-decreasing along edges
+  double mote_cpu = 0.0;
+  double micro_cpu = 0.0;
+  double mote_net = 0.0;
+  double micro_net = 0.0;
+  [[nodiscard]] bool feasible(const ThreeTierProblem& p) const;
+};
+[[nodiscard]] TierEval evaluate_tiers(const ThreeTierProblem& p,
+                                      const std::vector<Tier>& tiers);
+[[nodiscard]] double tier_objective(const ThreeTierProblem& p,
+                                    const TierEval& ev);
+
+}  // namespace wishbone::partition

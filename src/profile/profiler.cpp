@@ -1,0 +1,230 @@
+#include "profile/profiler.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace wishbone::profile {
+
+double ProfileData::micros_per_event(const PlatformModel& p,
+                                     OperatorId v) const {
+  WB_REQUIRE(v < op_counts.size(), "operator id out of range");
+  WB_REQUIRE(num_events > 0, "profile holds no events");
+  return p.micros(op_counts[v]) / static_cast<double>(num_events);
+}
+
+double ProfileData::bytes_per_event(std::size_t ei) const {
+  WB_REQUIRE(ei < edge_bytes.size(), "edge index out of range");
+  WB_REQUIRE(num_events > 0, "profile holds no events");
+  return edge_bytes[ei] / static_cast<double>(num_events);
+}
+
+double ProfileData::cpu_fraction(const PlatformModel& p, OperatorId v,
+                                 double events_per_sec) const {
+  return micros_per_event(p, v) * events_per_sec / 1e6;
+}
+
+double ProfileData::bandwidth(std::size_t ei, double events_per_sec) const {
+  return bytes_per_event(ei) * events_per_sec;
+}
+
+double ProfileData::peak_micros_per_event(const PlatformModel& p,
+                                          OperatorId v) const {
+  WB_REQUIRE(v < op_peak_counts.size(), "operator id out of range");
+  return p.micros(op_peak_counts[v]);
+}
+
+double ProfileData::peak_cpu_fraction(const PlatformModel& p, OperatorId v,
+                                      double events_per_sec) const {
+  return peak_micros_per_event(p, v) * events_per_sec / 1e6;
+}
+
+double ProfileData::peak_bandwidth(std::size_t ei,
+                                   double events_per_sec) const {
+  WB_REQUIRE(ei < edge_peak_bytes.size(), "edge index out of range");
+  return edge_peak_bytes[ei] * events_per_sec;
+}
+
+std::vector<double> ProfileData::heat(const PlatformModel& p) const {
+  std::vector<double> h(op_counts.size(), 0.0);
+  double hottest = 0.0;
+  for (OperatorId v = 0; v < op_counts.size(); ++v) {
+    h[v] = p.micros(op_counts[v]);
+    hottest = std::max(hottest, h[v]);
+  }
+  if (hottest > 0.0) {
+    for (double& x : h) x /= hottest;
+  }
+  return h;
+}
+
+/// Context handed to a work function during profiling: meters costs and
+/// routes emits depth-first to downstream consumers.
+class Profiler::ExecContext final : public graph::Context {
+ public:
+  ExecContext(Profiler& prof, OperatorId op, ProfileData& pd)
+      : prof_(prof), op_(op), pd_(pd) {}
+
+  void emit(Frame frame) override {
+    prof_.meters_[op_].charge_emit();
+    prof_.record_emit(op_, frame, pd_);
+  }
+
+  graph::CostMeter& meter() override { return prof_.meters_[op_]; }
+
+  [[nodiscard]] std::size_t node_id() const override { return 0; }
+
+ private:
+  Profiler& prof_;
+  OperatorId op_;
+  ProfileData& pd_;
+};
+
+Profiler::Profiler(Graph& g) : graph_(g) {
+  if (auto err = g.validate()) {
+    throw util::ContractError("Profiler: invalid graph: " + *err);
+  }
+}
+
+void Profiler::record_emit(OperatorId op, const Frame& f, ProfileData& pd) {
+  pd.op_elements_out[op] += 1;
+  pd.op_bytes_out[op] += static_cast<double>(f.wire_bytes());
+  for (std::size_t ei : graph_.out_edges(op)) {
+    pd.edge_bytes[ei] += static_cast<double>(f.wire_bytes());
+    pd.edge_elements[ei] += 1;
+    const graph::Edge& e = graph_.edges()[ei];
+    deliver(e.to, e.to_port, f, pd);
+  }
+}
+
+void Profiler::deliver(OperatorId op, std::size_t port, const Frame& f,
+                       ProfileData& pd) {
+  graph::OperatorImpl* impl = graph_.impl(op);
+  pd.op_invocations[op] += 1;
+  if (impl == nullptr) {
+    // Structural sinks may omit an implementation; they just consume.
+    WB_REQUIRE(graph_.info(op).is_sink,
+               "operator '" + graph_.info(op).name +
+                   "' has no implementation but is not a sink");
+    return;
+  }
+  ExecContext ctx(*this, op, pd);
+  impl->process(port, f, ctx);
+}
+
+namespace {
+
+ProfileData make_profile_data(const Graph& g) {
+  ProfileData pd;
+  pd.op_counts.resize(g.num_operators());
+  pd.op_invocations.resize(g.num_operators(), 0);
+  pd.op_elements_out.resize(g.num_operators(), 0);
+  pd.op_bytes_out.resize(g.num_operators(), 0.0);
+  pd.op_loops.resize(g.num_operators());
+  pd.op_peak_counts.resize(g.num_operators());
+  pd.edge_bytes.resize(g.num_edges(), 0.0);
+  pd.edge_elements.resize(g.num_edges(), 0);
+  pd.edge_peak_bytes.resize(g.num_edges(), 0.0);
+  return pd;
+}
+
+/// Tracks per-event deltas against cumulative meters/byte counters and
+/// folds them into the profile's peak records.
+class PeakTracker {
+ public:
+  PeakTracker(std::size_t num_ops, std::size_t num_edges)
+      : prev_counts_(num_ops), prev_edge_bytes_(num_edges, 0.0) {}
+
+  void end_event(const std::vector<graph::CostMeter>& meters,
+                 ProfileData& pd) {
+    for (std::size_t v = 0; v < prev_counts_.size(); ++v) {
+      const graph::OpCounts delta =
+          graph::counts_delta(meters[v].totals(), prev_counts_[v]);
+      pd.op_peak_counts[v] = graph::counts_max(pd.op_peak_counts[v], delta);
+      prev_counts_[v] = meters[v].totals();
+    }
+    for (std::size_t ei = 0; ei < prev_edge_bytes_.size(); ++ei) {
+      pd.edge_peak_bytes[ei] = std::max(
+          pd.edge_peak_bytes[ei], pd.edge_bytes[ei] - prev_edge_bytes_[ei]);
+      prev_edge_bytes_[ei] = pd.edge_bytes[ei];
+    }
+  }
+
+ private:
+  std::vector<graph::OpCounts> prev_counts_;
+  std::vector<double> prev_edge_bytes_;
+};
+
+}  // namespace
+
+ProfileData Profiler::run(
+    const std::map<OperatorId, std::vector<Frame>>& traces,
+    std::size_t num_events) {
+  WB_REQUIRE(num_events > 0, "need at least one event to profile");
+  const auto sources = graph_.sources();
+  for (OperatorId s : sources) {
+    const auto it = traces.find(s);
+    WB_REQUIRE(it != traces.end(),
+               "no trace supplied for source '" + graph_.info(s).name + "'");
+    WB_REQUIRE(it->second.size() >= num_events,
+               "trace for source '" + graph_.info(s).name + "' is shorter "
+               "than the requested number of events");
+  }
+
+  ProfileData pd = make_profile_data(graph_);
+  pd.num_events = num_events;
+  meters_.assign(graph_.num_operators(), graph::CostMeter{});
+
+  PeakTracker peaks(graph_.num_operators(), graph_.num_edges());
+  for (std::size_t i = 0; i < num_events; ++i) {
+    for (OperatorId s : sources) {
+      const Frame& f = traces.at(s)[i];
+      // Nominal acquisition cost: the ADC/driver copies every sample.
+      meters_[s].charge_mem(f.wire_bytes());
+      meters_[s].charge_int(f.size());
+      meters_[s].charge_emit();
+      pd.op_invocations[s] += 1;
+      record_emit(s, f, pd);
+    }
+    peaks.end_event(meters_, pd);
+  }
+
+  for (OperatorId v = 0; v < graph_.num_operators(); ++v) {
+    pd.op_counts[v] = meters_[v].totals();
+    pd.op_loops[v] = meters_[v].loops();
+  }
+  return pd;
+}
+
+ProfileData Profiler::run_self_driven(std::size_t num_events) {
+  WB_REQUIRE(num_events > 0, "need at least one event to profile");
+  const auto sources = graph_.sources();
+  for (OperatorId s : sources) {
+    WB_REQUIRE(graph_.impl(s) != nullptr,
+               "self-driven profiling needs an implementation on source '" +
+                   graph_.info(s).name + "'");
+  }
+
+  ProfileData pd = make_profile_data(graph_);
+  pd.num_events = num_events;
+  meters_.assign(graph_.num_operators(), graph::CostMeter{});
+
+  PeakTracker peaks(graph_.num_operators(), graph_.num_edges());
+  const Frame trigger;
+  for (std::size_t i = 0; i < num_events; ++i) {
+    for (OperatorId s : sources) {
+      ExecContext ctx(*this, s, pd);
+      pd.op_invocations[s] += 1;
+      graph_.impl(s)->process(0, trigger, ctx);
+    }
+    peaks.end_event(meters_, pd);
+  }
+
+  for (OperatorId v = 0; v < graph_.num_operators(); ++v) {
+    pd.op_counts[v] = meters_[v].totals();
+    pd.op_loops[v] = meters_[v].loops();
+  }
+  return pd;
+}
+
+}  // namespace wishbone::profile

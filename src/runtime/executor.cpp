@@ -1,0 +1,104 @@
+#include "runtime/executor.hpp"
+
+#include "util/assert.hpp"
+
+namespace wishbone::runtime {
+
+class PartitionedExecutor::Ctx final : public graph::Context {
+ public:
+  Ctx(PartitionedExecutor& ex, OperatorId op) : ex_(ex), op_(op) {}
+
+  void emit(Frame frame) override { ex_.route(op_, frame); }
+  graph::CostMeter& meter() override { return ex_.scratch_meter_; }
+  [[nodiscard]] std::size_t node_id() const override { return 0; }
+
+ private:
+  PartitionedExecutor& ex_;
+  OperatorId op_;
+};
+
+PartitionedExecutor::PartitionedExecutor(Graph& g,
+                                         std::vector<Side> assignment,
+                                         std::size_t radio_payload)
+    : graph_(g), sides_(std::move(assignment)),
+      radio_payload_(radio_payload) {
+  WB_REQUIRE(sides_.size() == g.num_operators(),
+             "assignment does not match graph");
+  WB_REQUIRE(radio_payload_ >= 1, "radio payload must be >= 1 byte");
+  for (const graph::Edge& e : g.edges()) {
+    WB_REQUIRE(!(sides_[e.from] == Side::kServer &&
+                 sides_[e.to] == Side::kNode),
+               "assignment has a server->node edge; the prototype "
+               "model allows data to cross the network only once "
+               "(§2.1.2)");
+  }
+}
+
+void PartitionedExecutor::set_loss_hook(
+    std::function<bool(std::uint64_t)> hook) {
+  loss_hook_ = std::move(hook);
+}
+
+void PartitionedExecutor::route(OperatorId from, const Frame& f) {
+  for (std::size_t ei : graph_.out_edges(from)) {
+    const graph::Edge& e = graph_.edges()[ei];
+    if (sides_[e.from] == Side::kNode && sides_[e.to] == Side::kServer) {
+      // Cut edge: marshal, packetize, (maybe) lose, unmarshal.
+      const std::vector<std::uint8_t> wire = marshal(f);
+      const auto packets = packetize(wire, radio_payload_);
+      stats_.cut_frames += 1;
+      stats_.cut_payload_bytes += wire.size();
+      stats_.cut_messages += packets.size();
+      if (loss_hook_ && !loss_hook_(stats_.cut_frames - 1)) {
+        stats_.cut_frames_lost += 1;
+        continue;
+      }
+      const Frame rebuilt = unmarshal(reassemble(packets));
+      deliver(e.to, e.to_port, rebuilt);
+    } else {
+      deliver(e.to, e.to_port, f);
+    }
+  }
+}
+
+void PartitionedExecutor::deliver(OperatorId op, std::size_t port,
+                                  const Frame& f) {
+  if (graph_.info(op).is_sink) {
+    if (sink_out_ != nullptr) (*sink_out_)[op].push_back(f);
+    if (graph_.impl(op) != nullptr) {
+      Ctx ctx(*this, op);
+      graph_.impl(op)->process(port, f, ctx);
+    }
+    return;
+  }
+  graph::OperatorImpl* impl = graph_.impl(op);
+  WB_REQUIRE(impl != nullptr, "operator '" + graph_.info(op).name +
+                                  "' has no implementation");
+  Ctx ctx(*this, op);
+  impl->process(port, f, ctx);
+}
+
+std::map<OperatorId, std::vector<Frame>> PartitionedExecutor::run(
+    const std::map<OperatorId, std::vector<Frame>>& traces,
+    std::size_t num_events) {
+  WB_REQUIRE(num_events > 0, "need at least one event");
+  std::map<OperatorId, std::vector<Frame>> out;
+  sink_out_ = &out;
+  const auto sources = graph_.sources();
+  for (OperatorId s : sources) {
+    const auto it = traces.find(s);
+    WB_REQUIRE(it != traces.end() && it->second.size() >= num_events,
+               "missing or short trace for source '" +
+                   graph_.info(s).name + "'");
+  }
+  for (std::size_t i = 0; i < num_events; ++i) {
+    ++stats_.events;
+    for (OperatorId s : sources) {
+      route(s, traces.at(s)[i]);
+    }
+  }
+  sink_out_ = nullptr;
+  return out;
+}
+
+}  // namespace wishbone::runtime

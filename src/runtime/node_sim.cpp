@@ -1,0 +1,88 @@
+#include "runtime/node_sim.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "util/assert.hpp"
+
+namespace wishbone::runtime {
+
+NodeSimStats simulate_node(const NodeSimParams& p) {
+  WB_REQUIRE(p.event_interval_us > 0, "event interval must be positive");
+  WB_REQUIRE(p.duration_s > 0, "duration must be positive");
+  WB_REQUIRE(p.radio.payload_bytes > 0 && p.radio.tx_bytes_per_sec > 0,
+             "radio model incomplete (payload/tx rate)");
+
+  NodeSimStats st;
+  const double end_us = p.duration_s * 1e6;
+  const double msg_tx_us = (p.radio.payload_bytes + p.radio.header_bytes) /
+                           p.radio.tx_bytes_per_sec * 1e6;
+  const auto msgs_per_event = static_cast<std::uint64_t>(
+      p.payload_per_event <= 0
+          ? 0
+          : std::ceil(p.payload_per_event / p.radio.payload_bytes));
+
+  double cpu_free_at = 0.0;     ///< when the current traversal finishes
+  double radio_free_at = 0.0;   ///< when the TX serializer is idle
+  std::uint64_t queue_len = 0;  ///< messages waiting to transmit
+  std::uint64_t buffered = 0;   ///< source buffer occupancy
+
+  for (double t = 0.0; t < end_us; t += p.event_interval_us) {
+    ++st.events_arrived;
+
+    // Radio drains continuously; account for transmissions completed
+    // since the last arrival.
+    if (queue_len > 0 && t > radio_free_at) {
+      const auto drained = static_cast<std::uint64_t>(
+          (t - radio_free_at) / msg_tx_us);
+      const std::uint64_t sent = std::min(queue_len, drained);
+      queue_len -= sent;
+      st.msgs_sent += sent;
+      st.payload_bytes_sent +=
+          static_cast<double>(sent) * p.radio.payload_bytes;
+      radio_free_at += static_cast<double>(sent) * msg_tx_us;
+      if (queue_len == 0) radio_free_at = t;
+    }
+
+    // Source buffering: if the CPU is mid-traversal, the event can wait
+    // in one of the buffer slots; beyond that it is missed.
+    if (t >= cpu_free_at) {
+      // CPU idle: every buffered event has completed by now.
+      buffered = 0;
+      cpu_free_at = t + p.work_per_event_us;
+    } else if (buffered < p.source_buffer_slots) {
+      ++buffered;
+      cpu_free_at += p.work_per_event_us;
+    } else {
+      ++st.events_missed;
+      continue;
+    }
+    ++st.events_accepted;
+
+    // The traversal's output joins the radio queue; the radio (driven
+    // by interrupts) drains independently of the task-level CPU.
+    st.msgs_enqueued += msgs_per_event;
+    std::uint64_t room =
+        p.radio_queue_msgs > queue_len ? p.radio_queue_msgs - queue_len : 0;
+    const std::uint64_t accepted_msgs = std::min(msgs_per_event, room);
+    st.msgs_dropped_queue += msgs_per_event - accepted_msgs;
+    if (queue_len == 0 && accepted_msgs > 0 && radio_free_at < t) {
+      radio_free_at = t;  // radio was idle; service starts now
+    }
+    queue_len += accepted_msgs;
+  }
+
+  // Final drain until the end of the run.
+  if (queue_len > 0 && end_us > radio_free_at) {
+    const auto drained =
+        static_cast<std::uint64_t>((end_us - radio_free_at) / msg_tx_us);
+    const std::uint64_t sent = std::min(queue_len, drained);
+    st.msgs_sent += sent;
+    st.payload_bytes_sent += static_cast<double>(sent) * p.radio.payload_bytes;
+  }
+
+  WB_ASSERT(st.events_accepted + st.events_missed == st.events_arrived);
+  return st;
+}
+
+}  // namespace wishbone::runtime

@@ -1,0 +1,15 @@
+#include "util/assert.hpp"
+
+#include <sstream>
+
+namespace wishbone::util {
+
+void assertion_failure(const char* expr, const char* file, int line,
+                       const std::string& msg) {
+  std::ostringstream os;
+  os << "assertion failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " (" << msg << ")";
+  throw AssertionError(os.str());
+}
+
+}  // namespace wishbone::util

@@ -1,0 +1,47 @@
+// Assertion and contract-checking helpers shared across the library.
+//
+// WB_ASSERT is an always-on invariant check (it is not compiled out in
+// release builds): a failed assertion indicates a bug inside the library,
+// and we prefer a loud failure with file/line context over silent
+// corruption of a partitioning decision.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wishbone::util {
+
+/// Thrown when an internal invariant is violated (a library bug).
+class AssertionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a caller violates a documented precondition.
+class ContractError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+[[noreturn]] void assertion_failure(const char* expr, const char* file,
+                                    int line, const std::string& msg);
+
+}  // namespace wishbone::util
+
+#define WB_ASSERT(expr)                                                     \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::wishbone::util::assertion_failure(#expr, __FILE__, __LINE__, "");   \
+  } while (false)
+
+#define WB_ASSERT_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::wishbone::util::assertion_failure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Precondition check: throws ContractError with the given message.
+#define WB_REQUIRE(expr, msg)                                  \
+  do {                                                         \
+    if (!(expr)) throw ::wishbone::util::ContractError((msg)); \
+  } while (false)

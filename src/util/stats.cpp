@@ -1,0 +1,68 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace wishbone::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  WB_REQUIRE(n_ > 0, "RunningStats::mean on empty accumulator");
+  return mean_;
+}
+
+double RunningStats::min() const {
+  WB_REQUIRE(n_ > 0, "RunningStats::min on empty accumulator");
+  return min_;
+}
+
+double RunningStats::max() const {
+  WB_REQUIRE(n_ > 0, "RunningStats::max on empty accumulator");
+  return max_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double percentile(std::vector<double> xs, double p) {
+  WB_REQUIRE(!xs.empty(), "percentile of empty vector");
+  WB_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+std::vector<std::pair<double, double>> empirical_cdf(std::vector<double> xs) {
+  WB_REQUIRE(!xs.empty(), "empirical_cdf of empty vector");
+  std::sort(xs.begin(), xs.end());
+  std::vector<std::pair<double, double>> out;
+  out.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out.emplace_back(xs[i], 100.0 * static_cast<double>(i + 1) /
+                                static_cast<double>(xs.size()));
+  }
+  return out;
+}
+
+}  // namespace wishbone::util

@@ -1,0 +1,44 @@
+// Small statistics helpers used by the profiler and the benchmark
+// harnesses (percentiles for the Fig. 6 CDF, mean/peak rates, ...).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wishbone::util {
+
+/// Online accumulator for mean / max / min / count of a scalar series.
+/// Used by the profiler to track mean and peak per-element costs (§4:
+/// "For each of these costs we can use either mean or peak load").
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double total() const { return sum_; }
+  /// Population variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  // Welford running moments for numerically stable variance.
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Returns the p-th percentile (p in [0,100]) of `xs` using linear
+/// interpolation between closest ranks. `xs` need not be sorted.
+/// Throws ContractError if `xs` is empty or p is out of range.
+double percentile(std::vector<double> xs, double p);
+
+/// Empirical CDF evaluated at each element of a sorted copy of `xs`:
+/// returns pairs (value, percentile) suitable for plotting Fig. 6.
+std::vector<std::pair<double, double>> empirical_cdf(std::vector<double> xs);
+
+}  // namespace wishbone::util

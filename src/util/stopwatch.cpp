@@ -1,0 +1,10 @@
+#include "util/stopwatch.hpp"
+
+namespace wishbone::util {
+
+double Stopwatch::elapsed_seconds() const {
+  const auto dt = Clock::now() - start_;
+  return std::chrono::duration<double>(dt).count();
+}
+
+}  // namespace wishbone::util

@@ -1,0 +1,23 @@
+// Wall-clock stopwatch used to time the ILP solver (Fig. 6 measures the
+// solver's time-to-discover and time-to-prove an optimal partitioning).
+#pragma once
+
+#include <chrono>
+
+namespace wishbone::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_seconds() const;
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace wishbone::util

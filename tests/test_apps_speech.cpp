@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "apps/speech.hpp"
+#include "graph/pinning.hpp"
+#include "profile/profiler.hpp"
+#include "runtime/executor.hpp"
+#include "util/assert.hpp"
+
+using namespace wishbone;
+using namespace wishbone::apps;
+
+TEST(SpeechApp, StructureMatchesPaper) {
+  SpeechApp app = build_speech_app();
+  EXPECT_EQ(app.g.num_operators(), 11u);
+  EXPECT_EQ(app.g.validate(), std::nullopt);
+  // Linear pipeline: every operator has at most one consumer.
+  for (graph::OperatorId v = 0; v < app.g.num_operators(); ++v) {
+    EXPECT_LE(app.g.out_edges(v).size(), 1u);
+  }
+  // Cut counting matches Fig. 5(b): "filtbank/7, logs/8, cepstral/9".
+  const auto order = app.pipeline_order();
+  EXPECT_EQ(order.size(), 9u);
+  std::size_t filtbank_count = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == app.filtbank) filtbank_count = i + 1;
+  }
+  EXPECT_EQ(filtbank_count, 7u);
+}
+
+TEST(SpeechApp, FrameSizesMatchPaper) {
+  SpeechApp app = build_speech_app();
+  profile::Profiler prof(app.g);
+  const auto pd = prof.run(speech_traces(app, 20), 20);
+  auto out_bytes = [&](graph::OperatorId v) {
+    return pd.op_bytes_out[v] / static_cast<double>(pd.num_events);
+  };
+  EXPECT_DOUBLE_EQ(out_bytes(app.source), 400.0);    // 200 x int16
+  EXPECT_DOUBLE_EQ(out_bytes(app.filtbank), 128.0);  // 32 x float32
+  EXPECT_DOUBLE_EQ(out_bytes(app.cepstrals), 52.0);  // 13 x float32
+  // Data reduction is monotone from filtbank onward.
+  EXPECT_LT(out_bytes(app.filtbank), out_bytes(app.fft));
+  EXPECT_LE(out_bytes(app.logs), out_bytes(app.filtbank));
+  EXPECT_LT(out_bytes(app.cepstrals), out_bytes(app.logs));
+}
+
+TEST(SpeechApp, PinningLeavesDspMovable) {
+  SpeechApp app = build_speech_app();
+  const auto pins = graph::analyze_pins(app.g, graph::Mode::kPermissive);
+  EXPECT_EQ(pins.requirement[app.source], graph::Requirement::kNode);
+  EXPECT_EQ(pins.requirement[app.sink], graph::Requirement::kServer);
+  for (graph::OperatorId v :
+       {app.window, app.preemph, app.hamming, app.prefilt, app.fft,
+        app.filtbank, app.logs, app.cepstrals}) {
+    EXPECT_EQ(pins.requirement[v], graph::Requirement::kMovable)
+        << app.g.info(v).name;
+  }
+  // detect is stateful in the server namespace: pinned to the server.
+  EXPECT_EQ(pins.requirement[app.detect], graph::Requirement::kServer);
+}
+
+TEST(SpeechApp, ConservativeModePinsPreemph) {
+  SpeechApp app = build_speech_app();
+  const auto pins = graph::analyze_pins(app.g, graph::Mode::kConservative);
+  // preemph keeps state in the Node namespace: conservative pins it
+  // (and its upstream window) to the node.
+  EXPECT_EQ(pins.requirement[app.preemph], graph::Requirement::kNode);
+  EXPECT_EQ(pins.requirement[app.window], graph::Requirement::kNode);
+  EXPECT_EQ(pins.requirement[app.fft], graph::Requirement::kMovable);
+}
+
+TEST(SpeechApp, DetectorFindsSpeechNotSilence) {
+  SpeechApp app = build_speech_app();
+  // Run end to end, all on server.
+  std::vector<graph::Side> sides(app.g.num_operators(),
+                                 graph::Side::kServer);
+  sides[app.source] = graph::Side::kNode;
+  runtime::PartitionedExecutor ex(app.g, sides);
+  const auto traces = speech_traces(app, 400, /*seed=*/3);
+  const auto out = ex.run(traces, 400);
+  const auto& decisions = out.at(app.sink);
+  ASSERT_EQ(decisions.size(), 400u);
+  // The detect op emits {flag, energy}: speech present somewhere but
+  // not everywhere.
+  std::size_t positive = 0;
+  for (const auto& f : decisions) {
+    ASSERT_EQ(f.size(), 2u);
+    if (f[0] > 0.5f) ++positive;
+  }
+  EXPECT_GT(positive, 10u);
+  EXPECT_LT(positive, 390u);
+}
+
+TEST(SpeechApp, CutpointsAndAssignments) {
+  SpeechApp app = build_speech_app();
+  const auto cuts = app.deployment_cutpoints();
+  ASSERT_EQ(cuts.size(), 6u);
+  EXPECT_EQ(cuts[0], app.source);
+  EXPECT_EQ(cuts[3], app.filtbank);  // 4th cut = filterbank (Fig. 10)
+  EXPECT_EQ(cuts[5], app.cepstrals);
+
+  const auto sides1 = app.assignment_for_cut(1);
+  std::size_t on_node = 0;
+  for (auto s : sides1) on_node += s == graph::Side::kNode;
+  EXPECT_EQ(on_node, 1u);
+
+  const auto sides6 = app.assignment_for_cut(6);
+  on_node = 0;
+  for (auto s : sides6) on_node += s == graph::Side::kNode;
+  EXPECT_EQ(on_node, 9u);  // the paper's "cepstral/9"
+  EXPECT_EQ(sides6[app.detect], graph::Side::kServer);
+
+  EXPECT_THROW((void)app.assignment_for_cut(0), util::ContractError);
+  EXPECT_THROW((void)app.assignment_for_cut(7), util::ContractError);
+}
+
+TEST(SpeechApp, ProfileCostsIncreaseDownThePipeline) {
+  SpeechApp app = build_speech_app();
+  profile::Profiler prof(app.g);
+  const auto pd = prof.run(speech_traces(app, 30), 30);
+  const auto mote = profile::tmote_sky();
+  // Fig. 7's dominant costs: FFT and cepstrals dwarf the early stages.
+  EXPECT_GT(pd.micros_per_event(mote, app.fft),
+            20.0 * pd.micros_per_event(mote, app.hamming));
+  EXPECT_GT(pd.micros_per_event(mote, app.cepstrals),
+            pd.micros_per_event(mote, app.filtbank));
+}

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "apps/fig3.hpp"
+#include "partition/baselines.hpp"
+#include "partition/partitioner.hpp"
+#include "test_helpers.hpp"
+#include "util/assert.hpp"
+
+using namespace wishbone;
+using namespace wishbone::partition;
+using wishbone::util::ContractError;
+
+namespace {
+
+ProblemVertex vtx(const std::string& name, double cpu, Requirement req) {
+  ProblemVertex v;
+  v.name = name;
+  v.cpu = cpu;
+  v.req = req;
+  return v;
+}
+
+/// src -> a -> b -> sink, decreasing bandwidth.
+PartitionProblem chain4() {
+  PartitionProblem p;
+  p.vertices = {vtx("src", 0.0, Requirement::kNode),
+                vtx("a", 0.3, Requirement::kMovable),
+                vtx("b", 0.4, Requirement::kMovable),
+                vtx("sink", 0.0, Requirement::kServer)};
+  p.edges = {ProblemEdge{0, 1, 8.0}, ProblemEdge{1, 2, 4.0},
+             ProblemEdge{2, 3, 1.0}};
+  p.cpu_budget = 1.0;
+  p.net_budget = 1e9;
+  p.alpha = 0.0;
+  p.beta = 1.0;
+  return p;
+}
+
+}  // namespace
+
+TEST(Exhaustive, FindsChainOptimum) {
+  const BaselineResult r = exhaustive_partition(chain4());
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.objective, 1.0, 1e-9);  // everything on the node
+  EXPECT_EQ(r.evaluated, 4u);           // 2 movables -> 4 assignments
+}
+
+TEST(Exhaustive, RespectsCpuBudget) {
+  PartitionProblem p = chain4();
+  p.cpu_budget = 0.3;  // only 'a' fits
+  const BaselineResult r = exhaustive_partition(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.objective, 4.0, 1e-9);
+  EXPECT_EQ(r.sides[1], Side::kNode);
+  EXPECT_EQ(r.sides[2], Side::kServer);
+}
+
+TEST(Exhaustive, TooManyMovablesThrow) {
+  PartitionProblem p = chain4();
+  for (int i = 0; i < 30; ++i) {
+    p.vertices.push_back(vtx("extra" + std::to_string(i), 0.0,
+                             Requirement::kMovable));
+    p.edges.push_back(ProblemEdge{0, p.vertices.size() - 1, 1.0});
+    p.edges.push_back(ProblemEdge{p.vertices.size() - 1, 3, 1.0});
+  }
+  EXPECT_THROW((void)exhaustive_partition(p), ContractError);
+}
+
+TEST(PipelineCuts, EnumeratesAllPrefixes) {
+  const auto cuts = pipeline_cuts(chain4());
+  ASSERT_EQ(cuts.size(), 5u);  // prefixes 0..4
+  // Prefix 0 leaves the pinned source on the server: infeasible.
+  EXPECT_FALSE(cuts[0].feasible);
+  // Prefix 4 puts the pinned sink on the node: infeasible.
+  EXPECT_FALSE(cuts[4].feasible);
+  // Bandwidths decrease along the pipeline.
+  EXPECT_NEAR(cuts[1].objective, 8.0, 1e-9);
+  EXPECT_NEAR(cuts[2].objective, 4.0, 1e-9);
+  EXPECT_NEAR(cuts[3].objective, 1.0, 1e-9);
+}
+
+TEST(PipelineCuts, BestCutMatchesExhaustive) {
+  const auto cuts = pipeline_cuts(chain4());
+  const auto truth = exhaustive_partition(chain4());
+  double best = 1e18;
+  for (const auto& c : cuts) {
+    if (c.feasible) best = std::min(best, c.objective);
+  }
+  EXPECT_NEAR(best, truth.objective, 1e-9);
+}
+
+TEST(PipelineCuts, RejectsNonChain) {
+  EXPECT_THROW((void)pipeline_cuts(apps::fig3_problem()), ContractError);
+}
+
+TEST(Greedy, FeasibleAndNeverBeatsOptimal) {
+  for (std::uint32_t seed = 1; seed <= 15; ++seed) {
+    const PartitionProblem p = wbtest::random_problem(seed);
+    const BaselineResult greedy = greedy_partition(p);
+    const BaselineResult truth = exhaustive_partition(p);
+    if (greedy.feasible) {
+      const auto ev = evaluate_assignment(p, greedy.sides);
+      EXPECT_TRUE(ev.respects_pins);
+      EXPECT_TRUE(ev.unidirectional);
+      ASSERT_TRUE(truth.feasible);
+      EXPECT_GE(greedy.objective, truth.objective - 1e-9) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Greedy, MovesWorkOntoNodeWhenItPays) {
+  const BaselineResult r = greedy_partition(chain4());
+  ASSERT_TRUE(r.feasible);
+  // The chain is strictly data-reducing with ample CPU: greedy should
+  // reach the all-on-node optimum here.
+  EXPECT_NEAR(r.objective, 1.0, 1e-9);
+}
+
+TEST(Greedy, StopsAtCpuBudget) {
+  PartitionProblem p = chain4();
+  p.cpu_budget = 0.3;
+  const BaselineResult r = greedy_partition(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.cpu_used, 0.3 + 1e-9);
+}

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "apps/speech.hpp"
+#include "profile/profiler.hpp"
+#include "runtime/deployment.hpp"
+#include "util/assert.hpp"
+
+using namespace wishbone;
+using namespace wishbone::runtime;
+
+namespace {
+
+struct ProfiledSpeech {
+  apps::SpeechApp app;
+  profile::ProfileData pd;
+};
+
+ProfiledSpeech profiled_speech() {
+  ProfiledSpeech ps{apps::build_speech_app(), {}};
+  profile::Profiler prof(ps.app.g);
+  ps.pd = prof.run(apps::speech_traces(ps.app, 60), 60);
+  ps.app.g.reset_state();
+  return ps;
+}
+
+DeploymentConfig tmote_cfg(std::size_t nodes, double rate) {
+  DeploymentConfig cfg;
+  cfg.events_per_sec = rate;
+  cfg.num_nodes = nodes;
+  cfg.duration_s = 60.0;
+  cfg.radio = net::cc2420_radio();
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Deployment, AllOnServerFloodsRadio) {
+  const auto ps = profiled_speech();
+  const auto st = simulate_deployment(
+      ps.app.g, ps.pd, profile::tmote_sky(), ps.app.assignment_for_cut(1),
+      tmote_cfg(1, apps::SpeechApp::kFullRateEventsPerSec));
+  // Cut 1 ships 400-byte raw frames at 40/s = 16 kB/s >> radio capacity.
+  EXPECT_GT(st.cut_payload_per_event, 399.0);
+  EXPECT_LT(st.goodput_fraction, 0.02);  // §7.3: "driving reception to 0"
+}
+
+TEST(Deployment, AllOnNodeIsCpuBound) {
+  const auto ps = profiled_speech();
+  const auto st = simulate_deployment(
+      ps.app.g, ps.pd, profile::tmote_sky(), ps.app.assignment_for_cut(6),
+      tmote_cfg(1, apps::SpeechApp::kFullRateEventsPerSec));
+  // Whole pipeline on the mote: ~700 ms of work per 25 ms frame.
+  EXPECT_LT(st.input_fraction, 0.1);
+  EXPECT_GT(st.msg_delivery_fraction, 0.9);  // tiny frames ship easily
+}
+
+TEST(Deployment, IntermediateCutBeatsExtremes) {
+  // The headline claim: the right middle cut gets ~20x the goodput of
+  // either extreme on a single TMote (§1, §7.3).
+  const auto ps = profiled_speech();
+  const auto cfg = tmote_cfg(1, apps::SpeechApp::kFullRateEventsPerSec);
+  const auto mote = profile::tmote_sky();
+  double best_mid = 0.0;
+  const double at1 =
+      simulate_deployment(ps.app.g, ps.pd, mote,
+                          ps.app.assignment_for_cut(1), cfg)
+          .goodput_fraction;
+  const double at6 =
+      simulate_deployment(ps.app.g, ps.pd, mote,
+                          ps.app.assignment_for_cut(6), cfg)
+          .goodput_fraction;
+  for (std::size_t cut = 2; cut <= 5; ++cut) {
+    best_mid = std::max(
+        best_mid, simulate_deployment(ps.app.g, ps.pd, mote,
+                                      ps.app.assignment_for_cut(cut), cfg)
+                      .goodput_fraction);
+  }
+  EXPECT_GT(best_mid, 10.0 * std::max(at1, 1e-6));
+  EXPECT_GT(best_mid, 2.0 * at6);
+  // "even an underpowered TMote can process 10% of sample windows":
+  EXPECT_GT(best_mid, 0.05);
+}
+
+TEST(Deployment, SingleMotePeaksAtFilterbank) {
+  // Fig. 10: single-mote peak at cut 4 (filterbank).
+  const auto ps = profiled_speech();
+  const auto cfg = tmote_cfg(1, apps::SpeechApp::kFullRateEventsPerSec);
+  const auto mote = profile::tmote_sky();
+  std::vector<double> goodput(7, 0.0);
+  for (std::size_t cut = 1; cut <= 6; ++cut) {
+    goodput[cut] = simulate_deployment(ps.app.g, ps.pd, mote,
+                                       ps.app.assignment_for_cut(cut), cfg)
+                       .goodput_fraction;
+  }
+  std::size_t peak = 1;
+  for (std::size_t cut = 2; cut <= 6; ++cut) {
+    if (goodput[cut] > goodput[peak]) peak = cut;
+  }
+  EXPECT_EQ(peak, 4u);
+}
+
+TEST(Deployment, TwentyNodeNetworkShiftsPeakLater) {
+  // Fig. 10: with 20 motes sharing the root link, the peak moves to
+  // the final cut (cepstral), whose frames are smallest.
+  const auto ps = profiled_speech();
+  const auto mote = profile::tmote_sky();
+  const auto cfg20 = tmote_cfg(20, apps::SpeechApp::kFullRateEventsPerSec);
+  std::vector<double> goodput(7, 0.0);
+  for (std::size_t cut = 1; cut <= 6; ++cut) {
+    goodput[cut] =
+        simulate_deployment(ps.app.g, ps.pd, mote,
+                            ps.app.assignment_for_cut(cut), cfg20)
+            .goodput_fraction;
+  }
+  std::size_t peak = 1;
+  for (std::size_t cut = 2; cut <= 6; ++cut) {
+    if (goodput[cut] > goodput[peak]) peak = cut;
+  }
+  EXPECT_EQ(peak, 6u);
+}
+
+TEST(Deployment, TwentyNodesDeliverWorseThanOne) {
+  const auto ps = profiled_speech();
+  const auto mote = profile::tmote_sky();
+  const std::size_t cut = 4;
+  const auto one = simulate_deployment(ps.app.g, ps.pd, mote,
+                                       ps.app.assignment_for_cut(cut),
+                                       tmote_cfg(1, 40.0));
+  const auto twenty = simulate_deployment(ps.app.g, ps.pd, mote,
+                                          ps.app.assignment_for_cut(cut),
+                                          tmote_cfg(20, 40.0));
+  EXPECT_LT(twenty.msg_delivery_fraction, one.msg_delivery_fraction);
+  EXPECT_EQ(twenty.input_fraction, one.input_fraction);  // same CPU
+}
+
+TEST(Deployment, NodeWorkAccountsOnlyNodeSideOperators) {
+  const auto ps = profiled_speech();
+  const auto mote = profile::tmote_sky();
+  const auto st1 = simulate_deployment(ps.app.g, ps.pd, mote,
+                                       ps.app.assignment_for_cut(1),
+                                       tmote_cfg(1, 1.0));
+  const auto st6 = simulate_deployment(ps.app.g, ps.pd, mote,
+                                       ps.app.assignment_for_cut(6),
+                                       tmote_cfg(1, 1.0));
+  EXPECT_LT(st1.node_work_us_per_event, st6.node_work_us_per_event / 50.0);
+  EXPECT_GT(st1.cut_payload_per_event, st6.cut_payload_per_event);
+}
+
+TEST(Deployment, ContractChecks) {
+  const auto ps = profiled_speech();
+  DeploymentConfig cfg = tmote_cfg(0, 40.0);
+  EXPECT_THROW((void)simulate_deployment(ps.app.g, ps.pd,
+                                         profile::tmote_sky(),
+                                         ps.app.assignment_for_cut(1), cfg),
+               util::ContractError);
+}

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <random>
+
+#include "dsp/fft.hpp"
+#include "graph/cost_meter.hpp"
+#include "util/assert.hpp"
+
+using namespace wishbone;
+using wishbone::util::ContractError;
+
+TEST(Fft, IsPowerOfTwo) {
+  EXPECT_TRUE(dsp::is_power_of_two(1));
+  EXPECT_TRUE(dsp::is_power_of_two(256));
+  EXPECT_FALSE(dsp::is_power_of_two(0));
+  EXPECT_FALSE(dsp::is_power_of_two(3));
+  EXPECT_FALSE(dsp::is_power_of_two(100));
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<float>> a(3);
+  EXPECT_THROW(dsp::fft_inplace(a), ContractError);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<std::complex<float>> a(8, {0.0f, 0.0f});
+  a[0] = {1.0f, 0.0f};
+  dsp::fft_inplace(a);
+  for (const auto& x : a) {
+    EXPECT_NEAR(x.real(), 1.0f, 1e-5);
+    EXPECT_NEAR(x.imag(), 0.0f, 1e-5);
+  }
+}
+
+TEST(Fft, DcGivesSingleBin) {
+  std::vector<std::complex<float>> a(16, {1.0f, 0.0f});
+  dsp::fft_inplace(a);
+  EXPECT_NEAR(a[0].real(), 16.0f, 1e-4);
+  for (std::size_t k = 1; k < 16; ++k) {
+    EXPECT_NEAR(std::abs(a[k]), 0.0f, 1e-4);
+  }
+}
+
+// Parameterized: a pure tone of bin k must peak exactly at bin k.
+class FftTone : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftTone, PeaksAtToneBin) {
+  const std::size_t bin = GetParam();
+  const std::size_t n = 64;
+  std::vector<float> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::cos(2.0 * std::numbers::pi * static_cast<double>(bin) *
+                    static_cast<double>(i) / static_cast<double>(n));
+  }
+  const auto mag = dsp::magnitude_spectrum(x);
+  ASSERT_EQ(mag.size(), n / 2 + 1);
+  std::size_t peak = 0;
+  for (std::size_t k = 1; k < mag.size(); ++k) {
+    if (mag[k] > mag[peak]) peak = k;
+  }
+  EXPECT_EQ(peak, bin);
+  EXPECT_NEAR(mag[bin], n / 2.0, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, FftTone,
+                         ::testing::Values(1, 2, 5, 11, 17, 31));
+
+// Parameterized over sizes: inverse(FFT(x)) == x.
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, InverseRecoversSignal) {
+  const std::size_t n = GetParam();
+  std::mt19937 rng(n);
+  std::uniform_real_distribution<float> u(-1.0f, 1.0f);
+  std::vector<std::complex<float>> a(n);
+  std::vector<std::complex<float>> orig(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = {u(rng), u(rng)};
+    orig[i] = a[i];
+  }
+  dsp::fft_inplace(a);
+  dsp::ifft_inplace(a);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(a[i].real(), orig[i].real(), 1e-4);
+    EXPECT_NEAR(a[i].imag(), orig[i].imag(), 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(2, 4, 8, 64, 256, 1024));
+
+TEST(Fft, ParsevalHolds) {
+  const std::size_t n = 128;
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<float> u(-1.0f, 1.0f);
+  std::vector<float> x(n);
+  double time_energy = 0.0;
+  for (auto& v : x) {
+    v = u(rng);
+    time_energy += static_cast<double>(v) * v;
+  }
+  std::vector<std::complex<float>> a(x.begin(), x.end());
+  dsp::fft_inplace(a);
+  double freq_energy = 0.0;
+  for (const auto& c : a) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-2 * time_energy);
+}
+
+TEST(Fft, PowerSpectrumIsSquaredMagnitude) {
+  std::vector<float> x{1.0f, -2.0f, 3.0f, 0.5f, 0.0f, 1.5f, -1.0f, 2.0f};
+  const auto mag = dsp::magnitude_spectrum(x);
+  const auto pow = dsp::power_spectrum(x);
+  ASSERT_EQ(mag.size(), pow.size());
+  for (std::size_t k = 0; k < mag.size(); ++k) {
+    EXPECT_NEAR(pow[k], mag[k] * mag[k], 1e-2 * (1.0 + pow[k]));
+  }
+}
+
+TEST(Fft, MeterChargesScaleWithSize) {
+  graph::CostMeter m_small, m_big;
+  std::vector<float> small(64, 1.0f), big(512, 1.0f);
+  (void)dsp::magnitude_spectrum(small, &m_small);
+  (void)dsp::magnitude_spectrum(big, &m_big);
+  EXPECT_GT(m_big.totals().float_ops, m_small.totals().float_ops * 4);
+  EXPECT_GT(m_big.totals().trans_ops, 0u);
+  EXPECT_GT(m_big.totals().mem_bytes, m_small.totals().mem_bytes);
+}
+
+TEST(Fft, LinearityOfSpectrum) {
+  const std::size_t n = 32;
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<float> u(-1.0f, 1.0f);
+  std::vector<std::complex<float>> a(n), b(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = {u(rng), 0.0f};
+    b[i] = {u(rng), 0.0f};
+    sum[i] = a[i] + b[i];
+  }
+  dsp::fft_inplace(a);
+  dsp::fft_inplace(b);
+  dsp::fft_inplace(sum);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(std::abs(sum[k] - (a[k] + b[k])), 0.0f, 1e-3);
+  }
+}

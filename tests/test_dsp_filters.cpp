@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "dsp/fir.hpp"
+#include "dsp/window.hpp"
+#include "util/assert.hpp"
+
+using namespace wishbone;
+using wishbone::util::ContractError;
+
+TEST(Fir, ImpulseResponseEqualsCoefficients) {
+  dsp::FirFilter f({0.5f, -0.25f, 0.125f});
+  std::vector<float> in{1.0f, 0.0f, 0.0f, 0.0f};
+  const auto out = f.process(in);
+  EXPECT_FLOAT_EQ(out[0], 0.5f);
+  EXPECT_FLOAT_EQ(out[1], -0.25f);
+  EXPECT_FLOAT_EQ(out[2], 0.125f);
+  EXPECT_FLOAT_EQ(out[3], 0.0f);
+}
+
+TEST(Fir, EmptyCoefficientsThrow) {
+  EXPECT_THROW(dsp::FirFilter({}), ContractError);
+}
+
+TEST(Fir, StreamingEqualsBatch) {
+  dsp::FirFilter a({0.3f, 0.5f, -0.2f, 0.1f});
+  dsp::FirFilter b({0.3f, 0.5f, -0.2f, 0.1f});
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<float> u(-5.0f, 5.0f);
+  std::vector<float> x(40);
+  for (auto& v : x) v = u(rng);
+
+  // Batch: one process() call. Streaming: sample by sample across
+  // artificial frame boundaries.
+  const auto batch = a.process(x);
+  std::vector<float> streamed;
+  for (float v : x) streamed.push_back(b.step(v));
+  ASSERT_EQ(batch.size(), streamed.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_NEAR(batch[i], streamed[i], 1e-5);
+  }
+}
+
+TEST(Fir, StatePersistsAcrossFramesAndResets) {
+  dsp::FirFilter f({1.0f, 1.0f});
+  (void)f.process({1.0f});
+  // Second frame sees the tail of the first: y = x[n] + x[n-1].
+  const auto out = f.process({0.0f});
+  EXPECT_FLOAT_EQ(out[0], 1.0f);
+  f.reset();
+  const auto fresh = f.process({0.0f});
+  EXPECT_FLOAT_EQ(fresh[0], 0.0f);
+}
+
+TEST(Fir, LinearityHolds) {
+  const std::vector<float> coeffs{0.25f, -0.5f, 0.75f};
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<float> u(-2.0f, 2.0f);
+  std::vector<float> x(16), y(16), sum(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    x[i] = u(rng);
+    y[i] = u(rng);
+    sum[i] = x[i] + y[i];
+  }
+  dsp::FirFilter fx(coeffs), fy(coeffs), fs(coeffs);
+  const auto ox = fx.process(x);
+  const auto oy = fy.process(y);
+  const auto os = fs.process(sum);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(os[i], ox[i] + oy[i], 1e-4);
+  }
+}
+
+TEST(Preemphasis, FirstSampleUsesCarriedState) {
+  float prev = 0.0f;
+  const auto y1 = dsp::preemphasis({10.0f, 20.0f}, 0.5f, prev);
+  EXPECT_FLOAT_EQ(y1[0], 10.0f);         // 10 - 0.5*0
+  EXPECT_FLOAT_EQ(y1[1], 15.0f);         // 20 - 0.5*10
+  EXPECT_FLOAT_EQ(prev, 20.0f);
+  const auto y2 = dsp::preemphasis({0.0f}, 0.5f, prev);
+  EXPECT_FLOAT_EQ(y2[0], -10.0f);        // 0 - 0.5*20
+}
+
+TEST(Preemphasis, RemovesDc) {
+  float prev = 0.0f;
+  const auto y = dsp::preemphasis(std::vector<float>(100, 3.0f), 1.0f, prev);
+  for (std::size_t i = 1; i < y.size(); ++i) EXPECT_FLOAT_EQ(y[i], 0.0f);
+}
+
+TEST(Hamming, EndpointsAndSymmetry) {
+  const auto w = dsp::hamming_window(64);
+  ASSERT_EQ(w.size(), 64u);
+  EXPECT_NEAR(w.front(), 0.08f, 1e-3);
+  EXPECT_NEAR(w.back(), 0.08f, 1e-3);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(w[i], w[63 - i], 1e-5);
+  }
+  // Peak in the middle.
+  EXPECT_NEAR(w[31], 1.0f, 5e-2);
+  EXPECT_THROW((void)dsp::hamming_window(1), ContractError);
+}
+
+TEST(ApplyWindow, MultipliesAndChecksSizes) {
+  const auto y = dsp::apply_window({2.0f, 3.0f}, {0.5f, 2.0f});
+  EXPECT_FLOAT_EQ(y[0], 1.0f);
+  EXPECT_FLOAT_EQ(y[1], 6.0f);
+  EXPECT_THROW((void)dsp::apply_window({1.0f}, {1.0f, 2.0f}), ContractError);
+}
+
+TEST(ZeroPad, PadsAndTruncates) {
+  const auto padded = dsp::zero_pad({1.0f, 2.0f}, 4);
+  ASSERT_EQ(padded.size(), 4u);
+  EXPECT_FLOAT_EQ(padded[1], 2.0f);
+  EXPECT_FLOAT_EQ(padded[3], 0.0f);
+  const auto cut = dsp::zero_pad({1.0f, 2.0f, 3.0f}, 2);
+  ASSERT_EQ(cut.size(), 2u);
+  EXPECT_FLOAT_EQ(cut[1], 2.0f);
+}
+
+TEST(Decimate, AveragesGroups) {
+  const auto y = dsp::decimate({1.0f, 3.0f, 5.0f, 7.0f}, 2);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_FLOAT_EQ(y[0], 2.0f);
+  EXPECT_FLOAT_EQ(y[1], 6.0f);
+  EXPECT_THROW((void)dsp::decimate({1.0f}, 0), ContractError);
+}
+
+TEST(Decimate, FactorOneIsIdentity) {
+  const std::vector<float> x{1.0f, 2.0f, 3.0f};
+  EXPECT_EQ(dsp::decimate(x, 1), x);
+}
+
+TEST(Parity, SplitsAcrossFrameBoundaries) {
+  std::size_t phase_e = 0, phase_o = 0;
+  // Stream 0 1 2 3 4 delivered as frames {0,1,2} and {3,4}.
+  auto e1 = dsp::take_even({0.0f, 1.0f, 2.0f}, phase_e);
+  auto o1 = dsp::take_odd({0.0f, 1.0f, 2.0f}, phase_o);
+  auto e2 = dsp::take_even({3.0f, 4.0f}, phase_e);
+  auto o2 = dsp::take_odd({3.0f, 4.0f}, phase_o);
+  e1.insert(e1.end(), e2.begin(), e2.end());
+  o1.insert(o1.end(), o2.begin(), o2.end());
+  EXPECT_EQ(e1, (std::vector<float>{0.0f, 2.0f, 4.0f}));
+  EXPECT_EQ(o1, (std::vector<float>{1.0f, 3.0f}));
+}
+
+TEST(AddFrames, TruncatesToShorter) {
+  const auto y = dsp::add_frames({1.0f, 2.0f, 3.0f}, {10.0f, 20.0f});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_FLOAT_EQ(y[0], 11.0f);
+  EXPECT_FLOAT_EQ(y[1], 22.0f);
+}
+
+TEST(Metering, FirChargesPerTap) {
+  graph::CostMeter m3, m8;
+  dsp::FirFilter f3(std::vector<float>(3, 0.1f));
+  dsp::FirFilter f8(std::vector<float>(8, 0.1f));
+  (void)f3.step(1.0f, &m3);
+  (void)f8.step(1.0f, &m8);
+  EXPECT_EQ(m3.totals().float_ops, 6u);
+  EXPECT_EQ(m8.totals().float_ops, 16u);
+}

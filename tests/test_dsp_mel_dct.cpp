@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "dsp/dct.hpp"
+#include "dsp/mel.hpp"
+#include "util/assert.hpp"
+
+using namespace wishbone;
+using wishbone::util::ContractError;
+
+TEST(MelScale, RoundTripAndMonotone) {
+  for (double hz : {0.0, 100.0, 700.0, 1000.0, 4000.0}) {
+    EXPECT_NEAR(dsp::MelFilterbank::mel_to_hz(
+                    dsp::MelFilterbank::hz_to_mel(hz)),
+                hz, 1e-6 * (1.0 + hz));
+  }
+  EXPECT_LT(dsp::MelFilterbank::hz_to_mel(100.0),
+            dsp::MelFilterbank::hz_to_mel(200.0));
+  // The mel scale compresses high frequencies: equal Hz steps shrink.
+  const double d_low = dsp::MelFilterbank::hz_to_mel(600.0) -
+                       dsp::MelFilterbank::hz_to_mel(500.0);
+  const double d_high = dsp::MelFilterbank::hz_to_mel(3600.0) -
+                        dsp::MelFilterbank::hz_to_mel(3500.0);
+  EXPECT_GT(d_low, d_high);
+}
+
+TEST(MelFilterbank, OutputSizeAndReduction) {
+  dsp::MelFilterbank bank(32, 129, 8000.0);
+  EXPECT_EQ(bank.num_filters(), 32u);
+  std::vector<float> spectrum(129, 1.0f);
+  const auto out = bank.apply(spectrum);
+  EXPECT_EQ(out.size(), 32u);  // 129 bins -> 32: the paper's ~4x
+}
+
+TEST(MelFilterbank, EveryFilterRespondsToFlatSpectrum) {
+  dsp::MelFilterbank bank(32, 129, 8000.0);
+  const auto out = bank.apply(std::vector<float>(129, 1.0f));
+  for (float v : out) EXPECT_GT(v, 0.0f);
+}
+
+TEST(MelFilterbank, ToneActivatesMatchingFilterMost) {
+  dsp::MelFilterbank bank(16, 129, 8000.0);
+  // Energy concentrated near 1 kHz = bin 32 of 129 (4 kHz Nyquist).
+  std::vector<float> spectrum(129, 0.0f);
+  spectrum[32] = 10.0f;
+  const auto out = bank.apply(spectrum);
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    if (out[i] > out[peak]) peak = i;
+  }
+  // 1 kHz = mel ~1000 of ~2146 total: peak should be a middle filter.
+  EXPECT_GT(peak, 4u);
+  EXPECT_LT(peak, 12u);
+}
+
+TEST(MelFilterbank, SpectrumSizeMismatchThrows) {
+  dsp::MelFilterbank bank(8, 65, 8000.0);
+  EXPECT_THROW((void)bank.apply(std::vector<float>(64, 1.0f)),
+               ContractError);
+}
+
+TEST(MelFilterbank, BadConstructionThrows) {
+  EXPECT_THROW(dsp::MelFilterbank(0, 65, 8000.0), ContractError);
+  EXPECT_THROW(dsp::MelFilterbank(8, 2, 8000.0), ContractError);
+  EXPECT_THROW(dsp::MelFilterbank(8, 65, -1.0), ContractError);
+}
+
+TEST(LogCompress, LogsAndFloorsZeros) {
+  const auto y = dsp::log_compress({1.0f, std::exp(2.0f), 0.0f});
+  EXPECT_NEAR(y[0], 0.0f, 1e-5);
+  EXPECT_NEAR(y[1], 2.0f, 1e-5);
+  EXPECT_LT(y[2], -20.0f);  // floored, very negative, finite
+  EXPECT_TRUE(std::isfinite(y[2]));
+}
+
+TEST(Dct, ConstantSignalOnlyDc) {
+  const auto c = dsp::dct_ii(std::vector<float>(16, 2.0f), 8);
+  EXPECT_NEAR(c[0], 2.0f * std::sqrt(16.0), 1e-4);
+  for (std::size_t k = 1; k < c.size(); ++k) EXPECT_NEAR(c[k], 0.0f, 1e-4);
+}
+
+TEST(Dct, RoundTripWithFullCoefficients) {
+  std::mt19937 rng(13);
+  std::uniform_real_distribution<float> u(-1.0f, 1.0f);
+  std::vector<float> x(12);
+  for (auto& v : x) v = u(rng);
+  const auto c = dsp::dct_ii(x, 12);
+  const auto back = dsp::idct_ii(c, 12);
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_NEAR(back[i], x[i], 1e-4);
+}
+
+TEST(Dct, EnergyCompaction) {
+  // A smooth signal should concentrate energy in the low coefficients.
+  std::vector<float> x(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    x[i] = std::cos(0.1 * static_cast<double>(i));
+  }
+  const auto c = dsp::dct_ii(x, 32);
+  double low = 0.0, high = 0.0;
+  for (std::size_t k = 0; k < 32; ++k) {
+    (k < 8 ? low : high) += static_cast<double>(c[k]) * c[k];
+  }
+  EXPECT_GT(low, 100.0 * high);
+}
+
+TEST(Dct, TruncationMatchesPrefix) {
+  std::vector<float> x{1.0f, -1.0f, 2.0f, 0.5f, 3.0f, -2.0f};
+  const auto full = dsp::dct_ii(x, 6);
+  const auto first3 = dsp::dct_ii(x, 3);
+  for (std::size_t k = 0; k < 3; ++k) EXPECT_FLOAT_EQ(first3[k], full[k]);
+}
+
+TEST(Dct, ContractViolations) {
+  EXPECT_THROW((void)dsp::dct_ii({}, 1), ContractError);
+  EXPECT_THROW((void)dsp::dct_ii({1.0f}, 2), ContractError);
+  EXPECT_THROW((void)dsp::dct_ii({1.0f}, 0), ContractError);
+}
+
+TEST(Dct, MeterChargesTranscendentals) {
+  graph::CostMeter m;
+  (void)dsp::dct_ii(std::vector<float>(32, 1.0f), 13, &m);
+  EXPECT_EQ(m.totals().trans_ops, 13u * 32u);  // one cos per (k, i)
+}

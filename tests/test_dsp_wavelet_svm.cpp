@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/svm.hpp"
+#include "dsp/wavelet.hpp"
+#include "util/assert.hpp"
+
+using namespace wishbone;
+using wishbone::util::ContractError;
+
+namespace {
+
+std::vector<float> tone(double freq_hz, double fs, std::size_t n) {
+  std::vector<float> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(
+        std::sin(2.0 * std::numbers::pi * freq_hz * i / fs));
+  }
+  return x;
+}
+
+double energy(const std::vector<float>& x) {
+  double e = 0.0;
+  for (float v : x) e += static_cast<double>(v) * v;
+  return e / static_cast<double>(x.size() ? x.size() : 1);
+}
+
+}  // namespace
+
+TEST(Polyphase, HalvesFrameLength) {
+  dsp::PolyphaseStage st(dsp::lowpass_polyphase());
+  const auto out = st.process(std::vector<float>(256, 1.0f));
+  EXPECT_EQ(out.size(), 128u);
+}
+
+TEST(Polyphase, OddFrameCarriesPendingSample) {
+  dsp::PolyphaseStage st(dsp::lowpass_polyphase());
+  const auto out1 = st.process(std::vector<float>(5, 1.0f));
+  EXPECT_EQ(out1.size(), 2u);  // 5 samples -> 2 pairs + 1 pending
+  const auto out2 = st.process(std::vector<float>(1, 1.0f));
+  EXPECT_EQ(out2.size(), 1u);  // pending pairs with the new sample
+}
+
+TEST(Polyphase, LowPassKeepsLowFrequency) {
+  // 2 Hz tone at 256 Hz sampling: far below the 64 Hz half-band edge.
+  const auto low_tone = tone(2.0, 256.0, 1024);
+  const auto high_tone = tone(120.0, 256.0, 1024);
+  dsp::PolyphaseStage lo1(dsp::lowpass_polyphase());
+  dsp::PolyphaseStage lo2(dsp::lowpass_polyphase());
+  const double low_out = energy(lo1.process(low_tone));
+  const double high_out = energy(lo2.process(high_tone));
+  EXPECT_GT(low_out, 10.0 * high_out);
+}
+
+TEST(Polyphase, HighPassKeepsHighFrequency) {
+  const auto low_tone = tone(2.0, 256.0, 1024);
+  const auto high_tone = tone(120.0, 256.0, 1024);
+  dsp::PolyphaseStage hi1(dsp::highpass_polyphase());
+  dsp::PolyphaseStage hi2(dsp::highpass_polyphase());
+  const double low_out = energy(hi1.process(low_tone));
+  const double high_out = energy(hi2.process(high_tone));
+  EXPECT_GT(high_out, 10.0 * low_out);
+}
+
+TEST(Polyphase, ResetClearsState) {
+  dsp::PolyphaseStage st(dsp::lowpass_polyphase());
+  const auto a = st.process({1.0f, 2.0f, 3.0f, 4.0f});
+  st.reset();
+  const auto b = st.process({1.0f, 2.0f, 3.0f, 4.0f});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(Polyphase, CascadeMatchesPaperDataReduction) {
+  // "at each level, the amount of data is halved" (§6.1): 7 levels on a
+  // 512-sample window leave 4 samples.
+  std::vector<dsp::PolyphaseStage> cascade;
+  for (int i = 0; i < 7; ++i) {
+    cascade.emplace_back(dsp::lowpass_polyphase());
+  }
+  std::vector<float> cur(512, 1.0f);
+  for (auto& st : cascade) cur = st.process(cur);
+  EXPECT_EQ(cur.size(), 4u);
+}
+
+TEST(MagWithScale, ScaledMeanAbsolute) {
+  EXPECT_FLOAT_EQ(dsp::mag_with_scale({3.0f, -1.0f}, 2.0f), 4.0f);
+  EXPECT_FLOAT_EQ(dsp::mag_with_scale({}, 2.0f), 0.0f);
+}
+
+TEST(MeanEnergy, MeanOfSquares) {
+  EXPECT_FLOAT_EQ(dsp::mean_energy({3.0f, -4.0f}), 12.5f);
+  EXPECT_FLOAT_EQ(dsp::mean_energy({}), 0.0f);
+}
+
+TEST(Svm, DecisionAndPredict) {
+  dsp::LinearSvm svm({1.0f, -2.0f}, 0.5f);
+  EXPECT_FLOAT_EQ(svm.decision({1.0f, 1.0f}), -0.5f);
+  EXPECT_FALSE(svm.predict({1.0f, 1.0f}));
+  EXPECT_TRUE(svm.predict({3.0f, 1.0f}));
+  EXPECT_EQ(svm.dimension(), 2u);
+}
+
+TEST(Svm, DimensionMismatchThrows) {
+  dsp::LinearSvm svm({1.0f, 2.0f}, 0.0f);
+  EXPECT_THROW((void)svm.decision({1.0f}), ContractError);
+  EXPECT_THROW(dsp::LinearSvm({}, 0.0f), ContractError);
+}
+
+TEST(ConsecutiveDetector, FiresOnThirdConsecutive) {
+  dsp::ConsecutiveDetector det(3);
+  EXPECT_FALSE(det.feed(true));
+  EXPECT_FALSE(det.feed(true));
+  EXPECT_TRUE(det.feed(true));    // fires exactly once
+  EXPECT_FALSE(det.feed(true));   // stays latched, no refire
+  EXPECT_FALSE(det.feed(false));  // run broken
+  EXPECT_FALSE(det.feed(true));
+  EXPECT_FALSE(det.feed(true));
+  EXPECT_TRUE(det.feed(true));    // fires again after a new run
+}
+
+TEST(ConsecutiveDetector, InterruptionResetsRun) {
+  dsp::ConsecutiveDetector det(2);
+  EXPECT_FALSE(det.feed(true));
+  EXPECT_FALSE(det.feed(false));
+  EXPECT_FALSE(det.feed(true));
+  EXPECT_TRUE(det.feed(true));
+  EXPECT_EQ(det.run_length(), 2u);
+  det.reset();
+  EXPECT_EQ(det.run_length(), 0u);
+}
+
+TEST(ConsecutiveDetector, RequiresPositiveThreshold) {
+  EXPECT_THROW(dsp::ConsecutiveDetector(0), ContractError);
+}

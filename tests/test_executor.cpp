@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "apps/speech.hpp"
+#include "runtime/executor.hpp"
+#include "test_helpers.hpp"
+#include "util/assert.hpp"
+
+using namespace wishbone;
+using namespace wishbone::runtime;
+using wishbone::util::ContractError;
+
+namespace {
+
+std::vector<Side> all_on(const graph::Graph& g, Side side) {
+  std::vector<Side> sides(g.num_operators(), side);
+  for (OperatorId v = 0; v < g.num_operators(); ++v) {
+    if (g.info(v).is_source) sides[v] = Side::kNode;
+    if (g.info(v).is_sink) sides[v] = Side::kServer;
+  }
+  return sides;
+}
+
+}  // namespace
+
+TEST(Executor, RunsTinyGraphEndToEnd) {
+  wbtest::TinyApp t = wbtest::tiny_app();
+  PartitionedExecutor ex(t.g, all_on(t.g, Side::kServer));
+  std::map<OperatorId, std::vector<Frame>> traces;
+  traces[t.src] = wbtest::int_frames(4, 8);
+  const auto out = ex.run(traces, 4);
+  ASSERT_EQ(out.at(t.sink).size(), 4u);
+  // double then half: same length as input, duplicated-first-half data.
+  EXPECT_EQ(out.at(t.sink)[0].size(), 8u);
+  EXPECT_EQ(ex.stats().events, 4u);
+}
+
+TEST(Executor, RejectsBackwardCut) {
+  wbtest::TinyApp t = wbtest::tiny_app();
+  std::vector<Side> sides = all_on(t.g, Side::kServer);
+  sides[t.half] = Side::kNode;  // half on node but double on server
+  EXPECT_THROW(PartitionedExecutor(t.g, sides), ContractError);
+}
+
+TEST(Executor, CutStatsCountFramesAndMessages) {
+  wbtest::TinyApp t = wbtest::tiny_app();
+  std::vector<Side> sides = all_on(t.g, Side::kServer);
+  sides[t.dbl] = Side::kNode;  // cut between double and half
+  PartitionedExecutor ex(t.g, sides, /*radio_payload=*/28);
+  std::map<OperatorId, std::vector<Frame>> traces;
+  traces[t.src] = wbtest::int_frames(3, 8);
+  (void)ex.run(traces, 3);
+  EXPECT_EQ(ex.stats().cut_frames, 3u);
+  // doubled frame = 16 samples = 32 bytes + 5 header = 37 -> 2 packets.
+  EXPECT_EQ(ex.stats().cut_messages, 6u);
+  EXPECT_EQ(ex.stats().cut_payload_bytes, 3u * 37u);
+}
+
+TEST(Executor, LossHookDropsFrames) {
+  wbtest::TinyApp t = wbtest::tiny_app();
+  std::vector<Side> sides = all_on(t.g, Side::kServer);
+  sides[t.dbl] = Side::kNode;
+  PartitionedExecutor ex(t.g, sides);
+  ex.set_loss_hook([](std::uint64_t idx) { return idx % 2 == 0; });
+  std::map<OperatorId, std::vector<Frame>> traces;
+  traces[t.src] = wbtest::int_frames(10, 8);
+  const auto out = ex.run(traces, 10);
+  EXPECT_EQ(out.at(t.sink).size(), 5u);
+  EXPECT_EQ(ex.stats().cut_frames_lost, 5u);
+}
+
+// The repartitioning-correctness property Wishbone relies on: every
+// cut of the (stateless-after-source) speech pipeline computes the
+// same answer, bit-for-bit at the sink, as long as nothing is lost.
+class SpeechCutEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpeechCutEquivalence, SinkOutputIndependentOfCut) {
+  const std::size_t cut = GetParam();
+
+  apps::SpeechApp ref_app = apps::build_speech_app();
+  const auto traces = apps::speech_traces(ref_app, 30, /*seed=*/5);
+  PartitionedExecutor ref_ex(ref_app.g,
+                             ref_app.assignment_for_cut(6));
+  const auto ref_out = ref_ex.run(traces, 30);
+
+  apps::SpeechApp app = apps::build_speech_app();
+  const auto traces2 = apps::speech_traces(app, 30, /*seed=*/5);
+  PartitionedExecutor ex(app.g, app.assignment_for_cut(cut));
+  const auto out = ex.run(traces2, 30);
+
+  const auto& ref_frames = ref_out.at(ref_app.sink);
+  const auto& frames = out.at(app.sink);
+  ASSERT_EQ(ref_frames.size(), frames.size());
+  // Cut 2 ships the hamming output, whose fractional samples quantize
+  // to int16 on the wire — the one cut that is only approximately
+  // equivalent. All other cuts marshal raw integers or float32 and are
+  // bit-exact.
+  const bool exact = cut != 2;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    ASSERT_EQ(ref_frames[i].size(), frames[i].size());
+    for (std::size_t k = 0; k < frames[i].size(); ++k) {
+      if (exact) {
+        EXPECT_FLOAT_EQ(ref_frames[i][k], frames[i][k])
+            << "cut " << cut << " frame " << i << " sample " << k;
+      } else {
+        EXPECT_NEAR(ref_frames[i][k], frames[i][k],
+                    0.05 + 0.02 * std::fabs(ref_frames[i][k]))
+            << "cut " << cut << " frame " << i << " sample " << k;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, SpeechCutEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Executor, MissingTraceThrows) {
+  wbtest::TinyApp t = wbtest::tiny_app();
+  PartitionedExecutor ex(t.g, all_on(t.g, Side::kServer));
+  std::map<OperatorId, std::vector<Frame>> traces;
+  EXPECT_THROW((void)ex.run(traces, 1), ContractError);
+}
+
+TEST(Executor, AssignmentSizeMismatchThrows) {
+  wbtest::TinyApp t = wbtest::tiny_app();
+  EXPECT_THROW(PartitionedExecutor(t.g, {Side::kNode}), ContractError);
+}

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "ilp/model.hpp"
+#include "util/assert.hpp"
+
+using namespace wishbone::ilp;
+using wishbone::util::ContractError;
+
+TEST(Model, AddVariablesAndBinaries) {
+  LinearProgram lp;
+  const int x = lp.add_variable("x", -1.0, 5.0, 2.0, false);
+  const int f = lp.add_binary("f", 1.0);
+  EXPECT_EQ(x, 0);
+  EXPECT_EQ(f, 1);
+  EXPECT_EQ(lp.num_variables(), 2);
+  EXPECT_DOUBLE_EQ(lp.lower(f), 0.0);
+  EXPECT_DOUBLE_EQ(lp.upper(f), 1.0);
+  EXPECT_TRUE(lp.is_integer(f));
+  EXPECT_FALSE(lp.is_integer(x));
+  EXPECT_EQ(lp.variable_name(0), "x");
+}
+
+TEST(Model, InvalidBoundsThrow) {
+  LinearProgram lp;
+  EXPECT_THROW((void)lp.add_variable("x", 2.0, 1.0, 0.0, false),
+               ContractError);
+  const int x = lp.add_variable("x", 0.0, 1.0, 0.0, false);
+  EXPECT_THROW(lp.set_bounds(x, 3.0, 2.0), ContractError);
+  EXPECT_THROW(lp.set_bounds(7, 0.0, 1.0), ContractError);
+}
+
+TEST(Model, ConstraintReferencesCheckedVariables) {
+  LinearProgram lp;
+  (void)lp.add_binary("f", 0.0);
+  Constraint c;
+  c.terms = {{3, 1.0}};
+  EXPECT_THROW(lp.add_constraint(c), ContractError);
+}
+
+TEST(Model, ObjectiveValue) {
+  LinearProgram lp;
+  (void)lp.add_variable("x", 0.0, 10.0, 2.0, false);
+  (void)lp.add_variable("y", 0.0, 10.0, -1.0, false);
+  EXPECT_DOUBLE_EQ(lp.objective_value({3.0, 4.0}), 2.0);
+  EXPECT_THROW((void)lp.objective_value({1.0}), ContractError);
+}
+
+TEST(Model, MaxViolationChecksEverything) {
+  LinearProgram lp;
+  const int x = lp.add_variable("x", 0.0, 1.0, 0.0, true);
+  Constraint c;
+  c.terms = {{x, 1.0}};
+  c.rel = Relation::kLe;
+  c.rhs = 0.5;
+  lp.add_constraint(c);
+
+  EXPECT_DOUBLE_EQ(lp.max_violation({0.0}), 0.0);
+  EXPECT_NEAR(lp.max_violation({0.8}), 0.3, 1e-12);   // constraint
+  EXPECT_NEAR(lp.max_violation({-0.4}), 0.4, 1e-12);  // lower bound
+  EXPECT_NEAR(lp.max_violation({0.3}), 0.3, 1e-12);   // integrality
+}
+
+TEST(Model, MaxViolationRelations) {
+  LinearProgram lp;
+  const int x = lp.add_variable("x", -10.0, 10.0, 0.0, false);
+  Constraint ge;
+  ge.terms = {{x, 1.0}};
+  ge.rel = Relation::kGe;
+  ge.rhs = 2.0;
+  lp.add_constraint(ge);
+  Constraint eq;
+  eq.terms = {{x, 2.0}};
+  eq.rel = Relation::kEq;
+  eq.rhs = 6.0;
+  lp.add_constraint(eq);
+  EXPECT_DOUBLE_EQ(lp.max_violation({3.0}), 0.0);
+  EXPECT_NEAR(lp.max_violation({1.0}), 4.0, 1e-12);  // eq violated by 4
+}
+
+TEST(Model, ToTextMentionsEverything) {
+  LinearProgram lp;
+  const int f = lp.add_binary("f_src", 3.5);
+  Constraint c;
+  c.name = "cpu_budget";
+  c.terms = {{f, 1.0}};
+  c.rel = Relation::kLe;
+  c.rhs = 1.0;
+  lp.add_constraint(c);
+  const std::string text = lp.to_text();
+  EXPECT_NE(text.find("minimize"), std::string::npos);
+  EXPECT_NE(text.find("f_src"), std::string::npos);
+  EXPECT_NE(text.find("cpu_budget"), std::string::npos);
+  EXPECT_NE(text.find("integer"), std::string::npos);
+}

@@ -1,0 +1,177 @@
+// Cross-module integration tests: the paper's end-to-end behaviours.
+#include <gtest/gtest.h>
+
+#include "apps/eeg.hpp"
+#include "apps/speech.hpp"
+#include "graph/pinning.hpp"
+#include "partition/baselines.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/preprocess.hpp"
+#include "profile/profiler.hpp"
+
+using namespace wishbone;
+using namespace wishbone::partition;
+
+namespace {
+
+struct ProfiledSpeech {
+  apps::SpeechApp app;
+  profile::ProfileData pd;
+};
+
+ProfiledSpeech profiled_speech() {
+  ProfiledSpeech ps{apps::build_speech_app(), {}};
+  profile::Profiler prof(ps.app.g);
+  ps.pd = prof.run(apps::speech_traces(ps.app, 50), 50);
+  ps.app.g.reset_state();
+  return ps;
+}
+
+}  // namespace
+
+TEST(Integration, IlpMatchesPipelineBruteForceOnSpeech) {
+  // §7.2: "a brute force testing of all cut points will suffice" for
+  // the linear speech pipeline — so the ILP must agree with it.
+  auto ps = profiled_speech();
+  const auto pins = graph::analyze_pins(ps.app.g,
+                                        graph::Mode::kPermissive);
+  const auto mote = profile::tmote_sky();
+  for (double rate : {0.5, 1.0, 2.0, 3.0}) {
+    const PartitionProblem prob =
+        make_problem(ps.app.g, pins, ps.pd, mote, rate);
+    const auto cuts = pipeline_cuts(prob);
+    double best = 1e300;
+    for (const auto& c : cuts) {
+      if (c.feasible) best = std::min(best, c.objective);
+    }
+    const PartitionResult ilp = solve_partition(prob);
+    ASSERT_TRUE(ilp.feasible) << "rate " << rate;
+    EXPECT_NEAR(ilp.objective, best, 1e-6 * (1.0 + best))
+        << "rate " << rate;
+  }
+}
+
+TEST(Integration, SpeechPreprocessingKeepsOnlyDataReducingCuts) {
+  // §4.1 on the speech pipeline: the neutral stages (window, preemph,
+  // hamming, prefilt, FFT relative to its input) merge away, leaving
+  // roughly the four viable cut points of Fig. 5(b):
+  // source / filtbank / logs / cepstral boundaries.
+  auto ps = profiled_speech();
+  const auto pins = graph::analyze_pins(ps.app.g,
+                                        graph::Mode::kPermissive);
+  const PartitionProblem prob = make_problem(
+      ps.app.g, pins, ps.pd, profile::tmote_sky(), 1.0);
+  PreprocessStats st;
+  const PartitionProblem small = preprocess(prob, &st);
+  EXPECT_EQ(st.vertices_before, 11u);
+  EXPECT_LE(st.vertices_after, 6u);
+  EXPECT_GE(st.vertices_after, 4u);
+}
+
+TEST(Integration, Fig5aNodePartitionShrinksWithRate) {
+  // Fig. 5(a): as the input rate grows, fewer operators fit on the
+  // node, stepping down the data-reduction staircase.
+  apps::EegConfig cfg;
+  cfg.channels = 1;
+  apps::EegApp app = build_eeg_app(cfg);
+  profile::Profiler prof(app.g);
+  const auto pd = prof.run(eeg_traces(app, 6), 6);
+  app.g.reset_state();
+
+  std::size_t prev = app.g.num_operators() + 1;
+  bool shrank = false;
+  for (double mult : {0.5, 2.0, 6.0, 12.0, 20.0}) {
+    const double rate = app.full_rate_events_per_sec() * mult;
+    const PartitionResult r = partition_graph(
+        app.g, pd, profile::tmote_sky(), rate, graph::Mode::kPermissive);
+    if (!r.feasible) break;
+    EXPECT_LE(r.node_partition_size, prev);
+    if (r.node_partition_size < prev && prev <= app.g.num_operators()) {
+      shrank = true;
+    }
+    prev = r.node_partition_size;
+  }
+  EXPECT_TRUE(shrank);
+}
+
+TEST(Integration, EegFullAppPartitionsWithinBudget) {
+  // The 1412-operator worst case must preprocess down and solve.
+  apps::EegApp app = build_eeg_app(apps::EegConfig{});
+  ASSERT_EQ(app.g.num_operators(), 1412u);
+  profile::Profiler prof(app.g);
+  const auto pd = prof.run(eeg_traces(app, 3), 3);
+  app.g.reset_state();
+
+  const auto pins = graph::analyze_pins(app.g, graph::Mode::kPermissive);
+  const PartitionProblem prob = make_problem(
+      app.g, pins, pd, profile::gumstix(), app.full_rate_events_per_sec());
+  PreprocessStats st;
+  const PartitionProblem small = preprocess(prob, &st);
+  // §4.2: preprocessing shrinks the instance enough for exact solving
+  // (data-neutral FIR branches, feature chains and the zip/SVM tail all
+  // collapse; the parity splits stay as genuine cut candidates).
+  EXPECT_LT(static_cast<double>(st.vertices_after),
+            0.6 * static_cast<double>(st.vertices_before));
+
+  const PartitionResult r = solve_partition(prob);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.sides.size(), prob.num_vertices());
+  // A Gumstix runs the whole cascade: features only on the uplink.
+  EXPECT_LT(r.net_used, 2000.0);
+  // Solver instrumentation for Fig. 6 exists.
+  EXPECT_GE(r.solver.time_to_best_incumbent, 0.0);
+  EXPECT_LE(r.solver.time_to_best_incumbent, r.solver.time_total);
+}
+
+TEST(Integration, ConservativeModeCostsBandwidthOnTmote) {
+  // Conservative mode pins the stateful wavelet cascade to the node;
+  // at high rates where the node cannot run it, partitions go
+  // infeasible earlier than in permissive mode.
+  apps::EegConfig cfg;
+  cfg.channels = 1;
+  apps::EegApp app = build_eeg_app(cfg);
+  profile::Profiler prof(app.g);
+  const auto pd = prof.run(eeg_traces(app, 4), 4);
+  app.g.reset_state();
+
+  const double rate = app.full_rate_events_per_sec() * 12.0;
+  const auto perm = partition_graph(app.g, pd, profile::tmote_sky(), rate,
+                                    graph::Mode::kPermissive);
+  const auto cons = partition_graph(app.g, pd, profile::tmote_sky(), rate,
+                                    graph::Mode::kConservative);
+  // Permissive can always fall back toward the server; conservative
+  // may fail or must pay at least as much objective.
+  if (cons.feasible) {
+    ASSERT_TRUE(perm.feasible);
+    EXPECT_LE(perm.objective, cons.objective + 1e-9);
+  } else {
+    EXPECT_TRUE(perm.feasible);
+  }
+}
+
+TEST(Integration, PlatformsRankAsInPaperOnSpeech) {
+  // Fig. 5(b): compute-bound sustainable rate ordering
+  // TMote < N80 < Meraki < iPhone < Gumstix <= VoxNet < Scheme.
+  auto ps = profiled_speech();
+  auto total_us = [&](const profile::PlatformModel& p) {
+    double t = 0.0;
+    for (graph::OperatorId v : ps.app.pipeline_order()) {
+      t += ps.pd.micros_per_event(p, v);
+    }
+    return t;
+  };
+  const double mote = total_us(profile::tmote_sky());
+  const double n80 = total_us(profile::nokia_n80());
+  const double meraki = total_us(profile::meraki_mini());
+  const double iphone = total_us(profile::iphone());
+  const double gum = total_us(profile::gumstix());
+  const double scheme = total_us(profile::scheme_pc());
+
+  EXPECT_GT(mote, n80);      // N80 ~2x faster than the mote
+  EXPECT_LT(mote / n80, 6.0);  // ...but only a small factor (§7.2)
+  EXPECT_GT(n80, meraki);
+  EXPECT_GT(meraki, iphone);
+  EXPECT_GT(iphone, gum);    // iPhone ~3x worse than Gumstix
+  EXPECT_NEAR(iphone / gum, 3.0, 1.5);
+  EXPECT_GT(gum, scheme);
+}

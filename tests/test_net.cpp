@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "net/net_profiler.hpp"
+#include "net/radio.hpp"
+#include "net/topology.hpp"
+#include "util/assert.hpp"
+
+using namespace wishbone;
+using wishbone::util::ContractError;
+
+TEST(Radio, BaselineDeliveryBelowSaturation) {
+  const auto r = net::cc2420_radio();
+  // §7.3.1: "a baseline packet drop rate that stays steady over a range
+  // of sending rates".
+  EXPECT_DOUBLE_EQ(r.delivery_fraction(0.0), r.baseline_delivery);
+  EXPECT_DOUBLE_EQ(r.delivery_fraction(r.capacity_bytes_per_sec * 0.5),
+                   r.baseline_delivery);
+  EXPECT_DOUBLE_EQ(r.delivery_fraction(r.capacity_bytes_per_sec),
+                   r.baseline_delivery);
+}
+
+TEST(Radio, SaturationPlateauDeliversCapacity) {
+  const auto r = net::cc2420_radio();
+  const double cap = r.capacity_bytes_per_sec;
+  // Graceful regime: delivered bytes ~ capacity, so delivery ~ 1/x.
+  EXPECT_NEAR(r.delivery_fraction(2.0 * cap), r.baseline_delivery / 2.0,
+              1e-9);
+  EXPECT_NEAR(2.0 * cap * r.delivery_fraction(2.0 * cap),
+              r.baseline_delivery * cap, 1e-6);
+}
+
+TEST(Radio, CongestionCollapseBeyondKnee) {
+  const auto r = net::cc2420_radio();
+  const double cap = r.capacity_bytes_per_sec;
+  // "...and then at some point drops off dramatically".
+  EXPECT_LT(r.delivery_fraction(10.0 * cap), 0.01);
+  // Continuous at the knee and monotone decreasing.
+  EXPECT_NEAR(r.delivery_fraction(r.saturation_knee * cap * 1.0001),
+              r.baseline_delivery / r.saturation_knee, 1e-3);
+  EXPECT_GT(r.delivery_fraction(1.5 * cap), r.delivery_fraction(3.0 * cap));
+  EXPECT_GT(r.delivery_fraction(5.0 * cap), r.delivery_fraction(8.0 * cap));
+}
+
+TEST(Radio, GoodputCollapsesWhenOversending) {
+  const auto r = net::cc2420_radio();
+  // The §4.3 caveat: past saturation, sending more data delivers less.
+  const double near_cap = 0.8 * r.capacity_bytes_per_sec;
+  const double way_over = 20.0 * r.capacity_bytes_per_sec;
+  EXPECT_GT(r.goodput(near_cap), r.goodput(way_over));
+}
+
+TEST(Radio, OnAirAddsHeaders) {
+  const auto r = net::cc2420_radio();
+  // 28 bytes payload = 1 message: 28 + 11 on air.
+  EXPECT_DOUBLE_EQ(r.on_air(28.0), 39.0);
+  EXPECT_DOUBLE_EQ(r.message_rate(28.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.message_rate(29.0), 2.0);
+  EXPECT_DOUBLE_EQ(r.on_air(0.0), 0.0);
+}
+
+TEST(Topology, SingleNodeSingleHop) {
+  const net::TreeTopology t(1);
+  EXPECT_EQ(t.num_nodes(), 1u);
+  EXPECT_DOUBLE_EQ(t.average_hops(), 1.0);
+}
+
+TEST(Topology, HopsGrowWithSize) {
+  const net::TreeTopology t4(4), t20(20), t100(100);
+  EXPECT_DOUBLE_EQ(t4.average_hops(), 1.0);  // all fit under the root
+  EXPECT_GT(t20.average_hops(), 1.0);
+  EXPECT_GT(t100.average_hops(), t20.average_hops());
+  EXPECT_THROW(net::TreeTopology(0), ContractError);
+}
+
+TEST(Topology, AggregateLoadScalesWithNodes) {
+  const auto r = net::cc2420_radio();
+  const net::TreeTopology t1(1), t20(20);
+  const double per_node = 100.0;
+  EXPECT_GT(t20.aggregate_on_air(r, per_node),
+            10.0 * t1.aggregate_on_air(r, per_node));
+}
+
+TEST(Topology, MoreNodesMeansWorseDelivery) {
+  const auto r = net::cc2420_radio();
+  const net::TreeTopology t1(1), t20(20);
+  const double per_node = 200.0;
+  EXPECT_GT(t1.delivery_fraction(r, per_node),
+            t20.delivery_fraction(r, per_node));
+}
+
+TEST(NetProfiler, FindsMaxRateForTarget) {
+  const auto r = net::cc2420_radio();
+  const net::TreeTopology topo(1);
+  const auto res = net::profile_network(r, topo, 0.9, 1.0, 1e5, 96);
+  ASSERT_FALSE(res.sweep.empty());
+  EXPECT_GT(res.max_payload_bytes_per_sec, 0.0);
+  EXPECT_GE(res.reception_at_max, 0.9);
+  // The found rate is near the channel capacity (single node, 1 hop):
+  // payload+headers must fit in capacity_bytes_per_sec.
+  EXPECT_LT(res.max_payload_bytes_per_sec, r.capacity_bytes_per_sec);
+  EXPECT_GT(res.max_payload_bytes_per_sec, 0.3 * r.capacity_bytes_per_sec);
+}
+
+TEST(NetProfiler, TwentyNodeNetworkSupportsLessPerNode) {
+  const auto r = net::cc2420_radio();
+  const net::TreeTopology t1(1), t20(20);
+  const auto r1 = net::profile_network(r, t1, 0.9, 1.0, 1e5, 96);
+  const auto r20 = net::profile_network(r, t20, 0.9, 1.0, 1e5, 96);
+  EXPECT_LT(r20.max_payload_bytes_per_sec,
+            r1.max_payload_bytes_per_sec / 10.0);
+}
+
+TEST(NetProfiler, SweepRampMeasuresCollapse) {
+  const auto r = net::cc2420_radio();
+  const net::TreeTopology topo(1);
+  const auto res = net::profile_network(r, topo, 0.9, 10.0, 1e6, 64);
+  // Reception starts at baseline and ends deeply collapsed.
+  EXPECT_NEAR(res.sweep.front().reception_ratio, r.baseline_delivery, 1e-9);
+  EXPECT_LT(res.sweep.back().reception_ratio, 0.01);
+}
+
+TEST(NetProfiler, BadArgsThrow) {
+  const auto r = net::cc2420_radio();
+  const net::TreeTopology topo(1);
+  EXPECT_THROW((void)net::profile_network(r, topo, 0.0), ContractError);
+  EXPECT_THROW((void)net::profile_network(r, topo, 0.9, 100.0, 10.0),
+               ContractError);
+}
+
+TEST(Radio, WifiIsMuchFasterThanMote) {
+  // §7.3.1: the Meraki's WiFi has >= 10x the bandwidth of the TMote.
+  EXPECT_GE(net::wifi_radio().capacity_bytes_per_sec,
+            10.0 * net::cc2420_radio().capacity_bytes_per_sec);
+}

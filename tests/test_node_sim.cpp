@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "net/radio.hpp"
+#include "runtime/node_sim.hpp"
+#include "util/assert.hpp"
+
+using namespace wishbone;
+using namespace wishbone::runtime;
+using wishbone::util::ContractError;
+
+namespace {
+
+NodeSimParams base_params() {
+  NodeSimParams p;
+  p.event_interval_us = 25'000.0;  // 40 events/s
+  p.work_per_event_us = 1'000.0;
+  p.payload_per_event = 52.0;
+  p.duration_s = 30.0;
+  p.radio = net::cc2420_radio();
+  return p;
+}
+
+}  // namespace
+
+TEST(NodeSim, LightLoadProcessesEverything) {
+  const auto st = simulate_node(base_params());
+  EXPECT_EQ(st.events_missed, 0u);
+  EXPECT_DOUBLE_EQ(st.input_fraction(), 1.0);
+  EXPECT_EQ(st.msgs_dropped_queue, 0u);
+}
+
+TEST(NodeSim, CpuBoundInputFractionMatchesRatio) {
+  NodeSimParams p = base_params();
+  p.work_per_event_us = 250'000.0;  // 10x the event interval
+  const auto st = simulate_node(p);
+  // With one buffer slot the node keeps up with ~1 event per traversal:
+  // interval/work = 0.1 of the input.
+  EXPECT_NEAR(st.input_fraction(), 0.1, 0.02);
+  EXPECT_GT(st.events_missed, 0u);
+}
+
+TEST(NodeSim, InputFractionScalesInverselyWithWork) {
+  NodeSimParams p = base_params();
+  p.work_per_event_us = 50'000.0;  // 2x interval
+  const double f2 = simulate_node(p).input_fraction();
+  p.work_per_event_us = 100'000.0;  // 4x interval
+  const double f4 = simulate_node(p).input_fraction();
+  EXPECT_NEAR(f2, 0.5, 0.05);
+  EXPECT_NEAR(f4, 0.25, 0.05);
+}
+
+TEST(NodeSim, ZeroWorkZeroPayload) {
+  NodeSimParams p = base_params();
+  p.work_per_event_us = 0.0;
+  p.payload_per_event = 0.0;
+  const auto st = simulate_node(p);
+  EXPECT_DOUBLE_EQ(st.input_fraction(), 1.0);
+  EXPECT_EQ(st.msgs_enqueued, 0u);
+  EXPECT_DOUBLE_EQ(st.payload_bytes_sent, 0.0);
+}
+
+TEST(NodeSim, RadioQueueDropsUnderOverload) {
+  NodeSimParams p = base_params();
+  // 400-byte frames at 40/s = 16 kB/s payload >> 12 kB/s raw TX.
+  p.payload_per_event = 400.0;
+  p.radio_queue_msgs = 8;
+  const auto st = simulate_node(p);
+  EXPECT_GT(st.msgs_dropped_queue, 0u);
+  EXPECT_LT(st.tx_fraction(), 1.0);
+  // The radio still pushed roughly its raw TX capacity.
+  const double sent_rate = st.payload_rate(p.duration_s);
+  EXPECT_LT(sent_rate, p.radio.tx_bytes_per_sec);
+  EXPECT_GT(sent_rate, 0.5 * p.radio.tx_bytes_per_sec);
+}
+
+TEST(NodeSim, PayloadRateMatchesAcceptedEvents) {
+  NodeSimParams p = base_params();
+  const auto st = simulate_node(p);
+  // 52 B -> 2 messages of 28 B payload capacity each; all sent.
+  EXPECT_EQ(st.msgs_enqueued, 2 * st.events_accepted);
+  EXPECT_NEAR(st.payload_bytes_sent,
+              static_cast<double>(st.msgs_sent) * p.radio.payload_bytes,
+              1.0);
+}
+
+TEST(NodeSim, MoreBufferSlotsSmoothBursts) {
+  NodeSimParams p = base_params();
+  p.work_per_event_us = 26'000.0;  // just above the interval
+  p.source_buffer_slots = 1;
+  const double one = simulate_node(p).input_fraction();
+  p.source_buffer_slots = 8;
+  const double eight = simulate_node(p).input_fraction();
+  EXPECT_GE(eight, one);
+}
+
+TEST(NodeSim, ContractChecks) {
+  NodeSimParams p = base_params();
+  p.event_interval_us = 0.0;
+  EXPECT_THROW((void)simulate_node(p), ContractError);
+  p = base_params();
+  p.duration_s = 0.0;
+  EXPECT_THROW((void)simulate_node(p), ContractError);
+  p = base_params();
+  p.radio.tx_bytes_per_sec = 0.0;
+  EXPECT_THROW((void)simulate_node(p), ContractError);
+}

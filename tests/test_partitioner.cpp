@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "apps/fig3.hpp"
+#include "partition/baselines.hpp"
+#include "partition/partitioner.hpp"
+#include "test_helpers.hpp"
+
+using namespace wishbone;
+using namespace wishbone::partition;
+
+TEST(Partitioner, Fig3BudgetSweepMatchesPaperShape) {
+  // Fig. 3: as the CPU budget grows 2 -> 3 -> 4 the optimal cut
+  // bandwidth falls 8 -> 6 -> 5 and the cut shape flips.
+  PartitionProblem p = apps::fig3_problem();
+  const double expected[] = {8.0, 6.0, 5.0};
+  for (int i = 0; i < 3; ++i) {
+    p.cpu_budget = 2.0 + i;
+    const PartitionResult r = solve_partition(p);
+    ASSERT_TRUE(r.feasible) << "budget " << p.cpu_budget;
+    EXPECT_NEAR(r.net_used, expected[i], 1e-6) << "budget " << p.cpu_budget;
+  }
+}
+
+TEST(Partitioner, Fig3HorizontalFlipAtLargerBudget) {
+  PartitionProblem p = apps::fig3_problem();
+  p.cpu_budget = 6.0;  // both first stages fit: horizontal cut, bw 4
+  const PartitionResult r = solve_partition(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.net_used, 4.0, 1e-6);
+  EXPECT_EQ(r.sides[p.vertices.size() - 3], Side::kNode);  // b1
+}
+
+TEST(Partitioner, InfeasibleWhenPinnedCpuExceedsBudget) {
+  PartitionProblem p = apps::fig3_problem();
+  p.vertices[0].cpu = 5.0;  // pinned source alone busts the budget
+  p.cpu_budget = 1.0;
+  const PartitionResult r = solve_partition(p);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Partitioner, InfeasibleWhenNetBudgetTooTight) {
+  PartitionProblem p = apps::fig3_problem();
+  p.net_budget = 0.5;  // even the best cut (bw 2 at budget 8) exceeds it
+  p.cpu_budget = 100.0;
+  const PartitionResult r = solve_partition(p);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Partitioner, ReportsResourceUsage) {
+  PartitionProblem p = apps::fig3_problem();
+  p.cpu_budget = 4.0;
+  const PartitionResult r = solve_partition(p);
+  ASSERT_TRUE(r.feasible);
+  const auto ev = evaluate_assignment(p, r.sides);
+  EXPECT_NEAR(r.cpu_used, ev.cpu, 1e-9);
+  EXPECT_NEAR(r.net_used, ev.net, 1e-9);
+  EXPECT_NEAR(r.objective, objective_of(p, ev), 1e-9);
+  EXPECT_LE(r.cpu_used, p.cpu_budget + 1e-9);
+}
+
+TEST(Partitioner, PreprocessStatsReported) {
+  const PartitionProblem p = apps::fig3_problem();
+  PartitionOptions opts;
+  opts.preprocess = true;
+  const PartitionResult r = solve_partition(p, opts);
+  EXPECT_EQ(r.prep.vertices_before, p.num_vertices());
+  EXPECT_LE(r.prep.vertices_after, r.prep.vertices_before);
+}
+
+// The headline correctness property: the ILP partitioner must match
+// exhaustive search on random DAGs, with and without preprocessing,
+// with and without warm starts, in both formulations.
+struct PartitionerConfig {
+  int seed;
+  bool preprocess;
+  bool warm;
+  Formulation form;
+};
+
+class PartitionerVsExhaustive
+    : public ::testing::TestWithParam<PartitionerConfig> {};
+
+TEST_P(PartitionerVsExhaustive, MatchesGroundTruth) {
+  const auto cfg = GetParam();
+  const PartitionProblem p = wbtest::random_problem(cfg.seed, 3, 3);
+  const BaselineResult truth = exhaustive_partition(p);
+
+  PartitionOptions opts;
+  opts.preprocess = cfg.preprocess;
+  opts.warm_start = cfg.warm;
+  opts.formulation = cfg.form;
+  const PartitionResult r = solve_partition(p, opts);
+
+  ASSERT_EQ(r.feasible, truth.feasible) << "seed " << cfg.seed;
+  if (truth.feasible) {
+    EXPECT_NEAR(r.objective, truth.objective,
+                1e-6 * (1.0 + truth.objective))
+        << "seed " << cfg.seed;
+    // And the returned assignment really achieves that objective.
+    const auto ev = evaluate_assignment(p, r.sides);
+    EXPECT_TRUE(ev.feasible(p));
+    EXPECT_NEAR(objective_of(p, ev), r.objective, 1e-9);
+  }
+}
+
+std::vector<PartitionerConfig> partitioner_grid() {
+  std::vector<PartitionerConfig> out;
+  for (int seed = 1; seed <= 12; ++seed) {
+    for (bool prep : {false, true}) {
+      for (bool warm : {false, true}) {
+        out.push_back({seed, prep, warm, Formulation::kRestricted});
+      }
+    }
+    out.push_back({seed, true, false, Formulation::kGeneral});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PartitionerVsExhaustive,
+                         ::testing::ValuesIn(partitioner_grid()));
+
+TEST(Partitioner, TightCpuForcesEarlyCut) {
+  const PartitionProblem base = wbtest::random_problem(5);
+  PartitionProblem tight = base;
+  tight.cpu_budget = 1e-6;
+  const PartitionResult r = solve_partition(tight);
+  if (r.feasible) {
+    // Nothing but the zero-cost pinned vertices may sit on the node.
+    EXPECT_LE(r.cpu_used, 1e-6 + 1e-9);
+  }
+}
+
+TEST(Partitioner, ZeroAlphaIgnoresCpuInObjective) {
+  PartitionProblem p = apps::fig3_problem();
+  p.cpu_budget = 100.0;
+  p.alpha = 0.0;
+  const PartitionResult r = solve_partition(p);
+  ASSERT_TRUE(r.feasible);
+  // With free CPU everything moves to the node: only the final edges
+  // (bandwidth 1 + 1) are cut.
+  EXPECT_NEAR(r.net_used, 2.0, 1e-6);
+}
+
+TEST(Partitioner, AlphaPenalizesNodeCpu) {
+  PartitionProblem p = apps::fig3_problem();
+  p.cpu_budget = 100.0;
+  p.alpha = 10.0;  // CPU is 10x as precious as bandwidth
+  p.beta = 1.0;
+  const PartitionResult r = solve_partition(p);
+  ASSERT_TRUE(r.feasible);
+  // alpha*cpu dominates: ship raw data, keep the node idle.
+  EXPECT_NEAR(r.cpu_used, 0.0, 1e-9);
+  EXPECT_NEAR(r.net_used, 8.0, 1e-6);
+}

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/pinning.hpp"
+#include "util/assert.hpp"
+
+using namespace wishbone;
+using graph::Mode;
+using graph::Namespace;
+using graph::OperatorInfo;
+using graph::Requirement;
+using wishbone::util::ContractError;
+
+namespace {
+
+OperatorInfo info(const std::string& name, Namespace ns, bool stateful,
+                  bool side_effects, bool source = false,
+                  bool sink = false) {
+  OperatorInfo i;
+  i.name = name;
+  i.ns = ns;
+  i.stateful = stateful;
+  i.side_effects = side_effects;
+  i.is_source = source;
+  i.is_sink = sink;
+  i.num_inputs = source ? 0 : 1;
+  return i;
+}
+
+/// src -> a (stateless node) -> b (stateful node) -> c (stateless
+/// server) -> d (stateful server) -> sink
+graph::Graph mixed_chain() {
+  graph::Graph g;
+  g.add_operator(info("src", Namespace::kNode, true, true, true), nullptr);
+  g.add_operator(info("a", Namespace::kNode, false, false), nullptr);
+  g.add_operator(info("b", Namespace::kNode, true, false), nullptr);
+  g.add_operator(info("c", Namespace::kServer, false, false), nullptr);
+  g.add_operator(info("d", Namespace::kServer, true, false), nullptr);
+  g.add_operator(info("sink", Namespace::kServer, false, true, false, true),
+                 nullptr);
+  for (std::size_t i = 0; i + 1 < 6; ++i) g.connect(i, i + 1);
+  return g;
+}
+
+}  // namespace
+
+TEST(Pinning, SourcesAndSinksArePinned) {
+  graph::Graph g = mixed_chain();
+  const auto pa = graph::analyze_pins(g, Mode::kPermissive);
+  EXPECT_EQ(pa.requirement[g.find("src")], Requirement::kNode);
+  EXPECT_EQ(pa.requirement[g.find("sink")], Requirement::kServer);
+}
+
+TEST(Pinning, StatelessOperatorsAreMovable) {
+  graph::Graph g = mixed_chain();
+  const auto pa = graph::analyze_pins(g, Mode::kPermissive);
+  EXPECT_EQ(pa.requirement[g.find("a")], Requirement::kMovable);
+  EXPECT_EQ(pa.requirement[g.find("c")], Requirement::kMovable);
+}
+
+TEST(Pinning, StatefulNodeOperatorRespectsMode) {
+  graph::Graph g = mixed_chain();
+  const auto cons = graph::analyze_pins(g, Mode::kConservative);
+  EXPECT_EQ(cons.requirement[g.find("b")], Requirement::kNode);
+  const auto perm = graph::analyze_pins(g, Mode::kPermissive);
+  EXPECT_EQ(perm.requirement[g.find("b")], Requirement::kMovable);
+}
+
+TEST(Pinning, StatefulServerOperatorAlwaysPinned) {
+  graph::Graph g = mixed_chain();
+  for (Mode m : {Mode::kConservative, Mode::kPermissive}) {
+    const auto pa = graph::analyze_pins(g, m);
+    EXPECT_EQ(pa.requirement[g.find("d")], Requirement::kServer);
+  }
+}
+
+TEST(Pinning, ConservativePinsPropagateToAncestors) {
+  graph::Graph g = mixed_chain();
+  const auto pa = graph::analyze_pins(g, Mode::kConservative);
+  // 'a' is upstream of the node-pinned stateful 'b': with one network
+  // crossing, a must stay on the node too.
+  EXPECT_EQ(pa.requirement[g.find("a")], Requirement::kNode);
+}
+
+TEST(Pinning, ServerPinsPropagateToDescendants) {
+  // src -> x -> effect(server side-effecting) -> y -> sink: y sits
+  // downstream of a server-pinned op, so it is server-pinned as well.
+  graph::Graph g;
+  g.add_operator(info("src", Namespace::kNode, true, true, true), nullptr);
+  g.add_operator(info("x", Namespace::kNode, false, false), nullptr);
+  g.add_operator(info("effect", Namespace::kServer, false, true), nullptr);
+  g.add_operator(info("y", Namespace::kServer, false, false), nullptr);
+  g.add_operator(info("sink", Namespace::kServer, false, true, false, true),
+                 nullptr);
+  for (std::size_t i = 0; i + 1 < 5; ++i) g.connect(i, i + 1);
+  const auto pa = graph::analyze_pins(g, Mode::kPermissive);
+  EXPECT_EQ(pa.requirement[2], Requirement::kServer);
+  EXPECT_EQ(pa.requirement[3], Requirement::kServer);
+  EXPECT_EQ(pa.requirement[1], Requirement::kMovable);
+}
+
+TEST(Pinning, ContradictoryPinsThrow) {
+  // A node-side LED blink *downstream* of a server-pinned stateful op:
+  // the flow would have to cross server -> node, which the single-cut
+  // model forbids.
+  graph::Graph g;
+  g.add_operator(info("src", Namespace::kNode, true, true, true), nullptr);
+  g.add_operator(info("serverState", Namespace::kServer, true, false),
+                 nullptr);
+  g.add_operator(info("led", Namespace::kNode, false, true), nullptr);
+  g.add_operator(info("sink", Namespace::kServer, false, true, false, true),
+                 nullptr);
+  g.connect(0, 1);
+  g.connect(1, 2);
+  g.connect(2, 3);
+  EXPECT_THROW((void)graph::analyze_pins(g, Mode::kPermissive),
+               ContractError);
+}
+
+TEST(Pinning, MovableSetAccessors) {
+  graph::Graph g = mixed_chain();
+  const auto pa = graph::analyze_pins(g, Mode::kPermissive);
+  EXPECT_EQ(pa.num_movable(), 3u);  // a, b, c
+  const auto mv = pa.movable();
+  EXPECT_EQ(mv.size(), 3u);
+  for (auto v : mv) EXPECT_TRUE(pa.is_movable(v));
+}
+
+TEST(Pinning, DiamondPropagation) {
+  // src -> (a | b) -> join(stateful, node ns) -> sink, conservative:
+  // join pinned -> both branches pinned node.
+  graph::Graph g;
+  g.add_operator(info("src", Namespace::kNode, true, true, true), nullptr);
+  g.add_operator(info("a", Namespace::kNode, false, false), nullptr);
+  g.add_operator(info("b", Namespace::kNode, false, false), nullptr);
+  OperatorInfo j = info("join", Namespace::kNode, true, false);
+  j.num_inputs = 2;
+  g.add_operator(j, nullptr);
+  g.add_operator(info("sink", Namespace::kServer, false, true, false, true),
+                 nullptr);
+  g.connect(0, 1);
+  g.connect(0, 2);
+  g.connect(1, 3, 0);
+  g.connect(2, 3, 1);
+  g.connect(3, 4);
+  const auto pa = graph::analyze_pins(g, Mode::kConservative);
+  EXPECT_EQ(pa.requirement[1], Requirement::kNode);
+  EXPECT_EQ(pa.requirement[2], Requirement::kNode);
+  EXPECT_EQ(pa.requirement[3], Requirement::kNode);
+}

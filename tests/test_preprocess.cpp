@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "partition/baselines.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/preprocess.hpp"
+#include "test_helpers.hpp"
+
+using namespace wishbone;
+using namespace wishbone::partition;
+
+namespace {
+
+ProblemVertex vtx(const char* name, double cpu, Requirement req) {
+  ProblemVertex v;
+  v.name = name;
+  v.cpu = cpu;
+  v.req = req;
+  return v;
+}
+
+/// src(bw 10) -> neutral(bw 10) -> reducer(bw 2) -> sink
+PartitionProblem neutral_chain() {
+  PartitionProblem p;
+  p.vertices = {vtx("src", 0.0, Requirement::kNode),
+                vtx("neutral", 0.2, Requirement::kMovable),
+                vtx("reducer", 0.3, Requirement::kMovable),
+                vtx("sink", 0.0, Requirement::kServer)};
+  p.edges = {ProblemEdge{0, 1, 10.0}, ProblemEdge{1, 2, 10.0},
+             ProblemEdge{2, 3, 2.0}};
+  p.cpu_budget = 1.0;
+  p.net_budget = 1e9;
+  p.alpha = 0.0;
+  p.beta = 1.0;
+  return p;
+}
+
+}  // namespace
+
+TEST(Preprocess, MergesDataNeutralOperatorDownstream) {
+  PreprocessStats st;
+  const PartitionProblem out = preprocess(neutral_chain(), &st);
+  // 'neutral' never reduces data, so the edge neutral->reducer can
+  // never be a better cut than src->neutral: they merge.
+  EXPECT_EQ(out.num_vertices(), 3u);
+  EXPECT_EQ(st.vertices_before, 4u);
+  EXPECT_EQ(st.vertices_after, 3u);
+  bool found_cluster = false;
+  for (const auto& v : out.vertices) {
+    if (v.ops.size() == 2) {
+      found_cluster = true;
+      EXPECT_NEAR(v.cpu, 0.5, 1e-12);  // summed CPU
+    }
+  }
+  EXPECT_TRUE(found_cluster);
+}
+
+TEST(Preprocess, KeepsDataReducingBoundary) {
+  const PartitionProblem out = preprocess(neutral_chain());
+  // The reducer's output edge (bandwidth 2 < in 10) must survive as a
+  // cut candidate.
+  bool has_cheap_edge = false;
+  for (const auto& e : out.edges) {
+    if (e.bandwidth == 2.0) has_cheap_edge = true;
+  }
+  EXPECT_TRUE(has_cheap_edge);
+}
+
+TEST(Preprocess, DataExpandingOperatorMerged) {
+  PartitionProblem p;
+  p.vertices = {vtx("src", 0.0, Requirement::kNode),
+                vtx("expander", 0.1, Requirement::kMovable),
+                vtx("sink", 0.0, Requirement::kServer)};
+  p.edges = {ProblemEdge{0, 1, 4.0}, ProblemEdge{1, 2, 16.0}};
+  p.cpu_budget = 1.0;
+  p.net_budget = 1e9;
+  const PartitionProblem out = preprocess(p);
+  // expander merges with the sink; cutting after it is never optimal.
+  EXPECT_EQ(out.num_vertices(), 2u);
+}
+
+TEST(Preprocess, DoesNotMergeAcrossRequiredCut) {
+  // node-pinned u feeding server-pinned v: that edge must stay.
+  PartitionProblem p;
+  p.vertices = {vtx("u", 0.1, Requirement::kNode),
+                vtx("v", 0.1, Requirement::kServer)};
+  p.edges = {ProblemEdge{0, 1, 5.0}};
+  p.cpu_budget = 1.0;
+  p.net_budget = 1e9;
+  const PartitionProblem out = preprocess(p);
+  EXPECT_EQ(out.num_vertices(), 2u);
+  EXPECT_EQ(out.num_edges(), 1u);
+}
+
+TEST(Preprocess, NodePinnedNeutralNotMergedWithMovable) {
+  // u is node-pinned and data-neutral; cutting u->v may still be the
+  // only/optimal cut, so no merge is allowed.
+  PartitionProblem p;
+  p.vertices = {vtx("src", 0.0, Requirement::kNode),
+                vtx("u", 0.5, Requirement::kNode),
+                vtx("v", 0.5, Requirement::kMovable),
+                vtx("sink", 0.0, Requirement::kServer)};
+  p.edges = {ProblemEdge{0, 1, 4.0}, ProblemEdge{1, 2, 4.0},
+             ProblemEdge{2, 3, 4.0}};
+  p.cpu_budget = 1.0;
+  p.net_budget = 1e9;
+  const PartitionProblem out = preprocess(p);
+  // u must not merge with v (though v may merge with the sink, since v
+  // is itself data-neutral).
+  for (const auto& v : out.vertices) {
+    if (v.ops.size() > 1) {
+      // the only legal cluster is {v, sink}
+      EXPECT_EQ(v.req, Requirement::kServer);
+    }
+  }
+}
+
+TEST(Preprocess, ChainsCollapseToFixedPoint) {
+  // Five neutral ops in a row all collapse into the final reducer.
+  PartitionProblem p;
+  p.vertices.push_back(vtx("src", 0.0, Requirement::kNode));
+  for (int i = 0; i < 5; ++i) {
+    p.vertices.push_back(vtx(("n" + std::to_string(i)).c_str(), 0.1,
+                             Requirement::kMovable));
+  }
+  p.vertices.push_back(vtx("reduce", 0.1, Requirement::kMovable));
+  p.vertices.push_back(vtx("sink", 0.0, Requirement::kServer));
+  for (std::size_t i = 0; i + 1 < p.vertices.size(); ++i) {
+    const double bw = (i + 2 == p.vertices.size()) ? 1.0 : 10.0;
+    p.edges.push_back(ProblemEdge{i, i + 1, bw});
+  }
+  p.cpu_budget = 1.0;
+  p.net_budget = 1e9;
+  PreprocessStats st;
+  const PartitionProblem out = preprocess(p, &st);
+  // src | {n0..n4, reduce} merged | sink stays separate? The merged
+  // cluster's output edge (bw 1) survives as the only interior cut.
+  EXPECT_LE(out.num_vertices(), 4u);
+  EXPECT_GE(st.rounds, 2u);
+}
+
+// The load-bearing property (§4.1 "reducing the search space without
+// eliminating optimal solutions"): preprocessing must never change the
+// optimal objective.
+class PreprocessOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreprocessOptimality, PreservesOptimalObjective) {
+  const PartitionProblem p = wbtest::random_problem(GetParam(), 3, 3);
+
+  PartitionOptions with, without;
+  with.preprocess = true;
+  without.preprocess = false;
+  const PartitionResult a = solve_partition(p, with);
+  const PartitionResult b = solve_partition(p, without);
+  ASSERT_EQ(a.feasible, b.feasible);
+  if (a.feasible) {
+    EXPECT_NEAR(a.objective, b.objective, 1e-6 * (1.0 + b.objective));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreprocessOptimality,
+                         ::testing::Range(1, 25));

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ilp/simplex.hpp"
+
+using namespace wishbone::ilp;
+
+namespace {
+
+Constraint make(std::vector<std::pair<int, double>> terms, Relation rel,
+                double rhs) {
+  Constraint c;
+  c.terms = std::move(terms);
+  c.rel = rel;
+  c.rhs = rhs;
+  return c;
+}
+
+}  // namespace
+
+TEST(Simplex, UnconstrainedBoxMinimum) {
+  // min 2x - 3y, 0<=x<=4, 0<=y<=5  ->  x=0, y=5, obj=-15.
+  LinearProgram lp;
+  (void)lp.add_variable("x", 0.0, 4.0, 2.0, false);
+  (void)lp.add_variable("y", 0.0, 5.0, -3.0, false);
+  const auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -15.0, 1e-6);
+  EXPECT_NEAR(sol.x[0], 0.0, 1e-6);
+  EXPECT_NEAR(sol.x[1], 5.0, 1e-6);
+}
+
+TEST(Simplex, ClassicTwoVariableLp) {
+  // max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18  (min of the negation).
+  // Optimum: x=2, y=6, obj=36.
+  LinearProgram lp;
+  const int x = lp.add_variable("x", 0.0, kInf, -3.0, false);
+  const int y = lp.add_variable("y", 0.0, kInf, -5.0, false);
+  lp.add_constraint(make({{x, 1.0}}, Relation::kLe, 4.0));
+  lp.add_constraint(make({{y, 2.0}}, Relation::kLe, 12.0));
+  lp.add_constraint(make({{x, 3.0}, {y, 2.0}}, Relation::kLe, 18.0));
+  const auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -36.0, 1e-6);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-6);
+  EXPECT_NEAR(sol.x[1], 6.0, 1e-6);
+}
+
+TEST(Simplex, GeConstraintNeedsPhaseOne) {
+  // min x s.t. x >= 3, 0 <= x <= 10.
+  LinearProgram lp;
+  const int x = lp.add_variable("x", 0.0, 10.0, 1.0, false);
+  lp.add_constraint(make({{x, 1.0}}, Relation::kGe, 3.0));
+  const auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 3.0, 1e-6);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + y s.t. x + y == 4, x <= 3, y <= 3.
+  LinearProgram lp;
+  const int x = lp.add_variable("x", 0.0, 3.0, 1.0, false);
+  const int y = lp.add_variable("y", 0.0, 3.0, 1.0, false);
+  lp.add_constraint(make({{x, 1.0}, {y, 1.0}}, Relation::kEq, 4.0));
+  const auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 4.0, 1e-6);
+  EXPECT_NEAR(sol.x[0] + sol.x[1], 4.0, 1e-6);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x <= 1 and x >= 2 cannot both hold.
+  LinearProgram lp;
+  const int x = lp.add_variable("x", 0.0, 10.0, 1.0, false);
+  lp.add_constraint(make({{x, 1.0}}, Relation::kLe, 1.0));
+  lp.add_constraint(make({{x, 1.0}}, Relation::kGe, 2.0));
+  EXPECT_EQ(SimplexSolver().solve(lp).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleBoundsVsEquality) {
+  LinearProgram lp;
+  const int x = lp.add_variable("x", 0.0, 1.0, 0.0, false);
+  lp.add_constraint(make({{x, 1.0}}, Relation::kEq, 5.0));
+  EXPECT_EQ(SimplexSolver().solve(lp).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  // min -x with x >= 0 unbounded above.
+  LinearProgram lp;
+  (void)lp.add_variable("x", 0.0, kInf, -1.0, false);
+  EXPECT_EQ(SimplexSolver().solve(lp).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, FixedVariablesRespected) {
+  LinearProgram lp;
+  const int x = lp.add_variable("x", 2.0, 2.0, 1.0, false);
+  const int y = lp.add_variable("y", 0.0, 5.0, 1.0, false);
+  lp.add_constraint(make({{x, 1.0}, {y, 1.0}}, Relation::kGe, 4.0));
+  const auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 2.0, 1e-6);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // min x + y with -5<=x<=-1, -3<=y<=7, x+y >= -6.
+  LinearProgram lp;
+  const int x = lp.add_variable("x", -5.0, -1.0, 1.0, false);
+  const int y = lp.add_variable("y", -3.0, 7.0, 1.0, false);
+  lp.add_constraint(make({{x, 1.0}, {y, 1.0}}, Relation::kGe, -6.0));
+  const auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -6.0, 1e-6);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Many redundant constraints through the same vertex.
+  LinearProgram lp;
+  const int x = lp.add_variable("x", 0.0, kInf, -1.0, false);
+  const int y = lp.add_variable("y", 0.0, kInf, -1.0, false);
+  for (int k = 1; k <= 6; ++k) {
+    lp.add_constraint(
+        make({{x, static_cast<double>(k)}, {y, static_cast<double>(k)}},
+             Relation::kLe, 4.0 * k));
+  }
+  const auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -4.0, 1e-6);
+}
+
+// Property test: on random partition-shaped LPs the solution must be
+// feasible and no sampled feasible point may beat it.
+class SimplexRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandom, OptimalBeatsRandomFeasiblePoints) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> cost(-2.0, 2.0);
+  std::uniform_real_distribution<double> coeff(0.1, 1.0);
+
+  const int n = 6;
+  LinearProgram lp;
+  for (int j = 0; j < n; ++j) {
+    (void)lp.add_variable("x" + std::to_string(j), 0.0, 1.0, cost(rng),
+                          false);
+  }
+  // A couple of knapsack-style rows keep the box from being trivial.
+  for (int r = 0; r < 3; ++r) {
+    Constraint c;
+    for (int j = 0; j < n; ++j) c.terms.emplace_back(j, coeff(rng));
+    c.rel = Relation::kLe;
+    c.rhs = 1.5;
+    lp.add_constraint(c);
+  }
+  const auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_LE(lp.max_violation(sol.x), 1e-6);
+
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> x(n);
+    for (auto& v : x) v = u(rng) * 0.3;  // keep within the knapsacks
+    if (lp.max_violation(x) > 1e-9) continue;
+    EXPECT_GE(lp.objective_value(x), sol.objective - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandom,
+                         ::testing::Range(1, 13));

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/stochastic.hpp"
+#include "util/assert.hpp"
+
+using namespace wishbone;
+using namespace wishbone::net;
+
+TEST(Stochastic, DeterministicUnderSeed) {
+  StochasticChannel a(cc2420_radio(), TreeTopology(1), 42);
+  StochasticChannel b(cc2420_radio(), TreeTopology(1), 42);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.try_deliver(500.0), b.try_deliver(500.0));
+  }
+}
+
+TEST(Stochastic, DifferentSeedsDiffer) {
+  StochasticChannel a(cc2420_radio(), TreeTopology(1), 1);
+  StochasticChannel b(cc2420_radio(), TreeTopology(1), 2);
+  int diff = 0;
+  for (int i = 0; i < 500; ++i) {
+    diff += a.try_deliver(1500.0) != b.try_deliver(1500.0);
+  }
+  EXPECT_GT(diff, 0);
+}
+
+// Property: empirical delivery converges to the analytic expectation.
+class StochasticConvergence : public ::testing::TestWithParam<double> {};
+
+TEST_P(StochasticConvergence, MatchesAnalyticModel) {
+  const double rate = GetParam();
+  const RadioModel radio = cc2420_radio();
+  const TreeTopology topo(1);
+  StochasticChannel ch(radio, topo, 7);
+  const std::uint64_t n = 20'000;
+  const double measured =
+      static_cast<double>(ch.deliver_count(rate, n)) /
+      static_cast<double>(n);
+  const double expected = topo.delivery_fraction(radio, rate);
+  // Three-sigma Bernoulli confidence band.
+  const double sigma =
+      std::sqrt(expected * (1.0 - expected) / static_cast<double>(n));
+  EXPECT_NEAR(measured, expected, 3.0 * sigma + 1e-4) << "rate " << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, StochasticConvergence,
+                         ::testing::Values(100.0, 800.0, 1500.0, 3000.0,
+                                           8000.0, 20000.0));
+
+TEST(Stochastic, CollapsedChannelDeliversAlmostNothing) {
+  const RadioModel radio = cc2420_radio();
+  StochasticChannel ch(radio, TreeTopology(1), 3);
+  const auto delivered =
+      ch.deliver_count(20.0 * radio.capacity_bytes_per_sec, 5000);
+  EXPECT_LT(delivered, 25u);  // << 1% through a collapsed channel
+}
+
+TEST(Stochastic, IncompleteRadioRejected) {
+  RadioModel r;  // capacity left at 0
+  EXPECT_THROW(StochasticChannel(r, TreeTopology(1), 1),
+               util::ContractError);
+}

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "partition/three_tier.hpp"
+#include "util/assert.hpp"
+
+using namespace wishbone;
+using namespace wishbone::partition;
+using wishbone::util::ContractError;
+
+namespace {
+
+ThreeTierVertex vtx(const char* name, double c1, double c2, Tier mn,
+                    Tier mx) {
+  ThreeTierVertex v;
+  v.name = name;
+  v.cpu_mote = c1;
+  v.cpu_micro = c2;
+  v.range = {mn, mx};
+  return v;
+}
+
+/// src(mote) -> a -> b -> sink(server); a/b cheaper on the micro tier.
+ThreeTierProblem chain() {
+  ThreeTierProblem p;
+  p.vertices = {
+      vtx("src", 0.0, 0.0, Tier::kMote, Tier::kMote),
+      vtx("a", 0.6, 0.1, Tier::kMote, Tier::kServer),
+      vtx("b", 0.8, 0.2, Tier::kMote, Tier::kServer),
+      vtx("sink", 0.0, 0.0, Tier::kServer, Tier::kServer),
+  };
+  p.edges = {{0, 1, 100.0}, {1, 2, 40.0}, {2, 3, 5.0}};
+  p.mote_cpu_budget = 1.0;
+  p.micro_cpu_budget = 1.0;
+  p.mote_net_budget = 1e9;
+  p.micro_net_budget = 1e9;
+  return p;
+}
+
+}  // namespace
+
+TEST(ThreeTier, EvaluateCountsBothCuts) {
+  const ThreeTierProblem p = chain();
+  const std::vector<Tier> tiers = {Tier::kMote, Tier::kMicro, Tier::kMicro,
+                                   Tier::kServer};
+  const TierEval ev = evaluate_tiers(p, tiers);
+  EXPECT_TRUE(ev.monotone);
+  EXPECT_TRUE(ev.respects_range);
+  EXPECT_DOUBLE_EQ(ev.mote_net, 100.0);  // src -> a crosses the radio
+  EXPECT_DOUBLE_EQ(ev.micro_net, 5.0);   // b -> sink crosses the uplink
+  EXPECT_DOUBLE_EQ(ev.mote_cpu, 0.0);
+  EXPECT_NEAR(ev.micro_cpu, 0.3, 1e-12);
+}
+
+TEST(ThreeTier, NonMonotoneDetected) {
+  const ThreeTierProblem p = chain();
+  const std::vector<Tier> tiers = {Tier::kMote, Tier::kServer, Tier::kMicro,
+                                   Tier::kServer};
+  EXPECT_FALSE(evaluate_tiers(p, tiers).monotone);
+}
+
+TEST(ThreeTier, SolvesChainOptimally) {
+  const ThreeTierProblem p = chain();
+  const ThreeTierResult ilp = solve_three_tier(p);
+  const ThreeTierResult truth = exhaustive_three_tier(p);
+  ASSERT_TRUE(ilp.feasible);
+  ASSERT_TRUE(truth.feasible);
+  EXPECT_NEAR(ilp.objective, truth.objective, 1e-9);
+  // With ample budgets everything data-reducing runs as low as its CPU
+  // allows: a and b fit on the mote (0.6 + 0.8 > 1.0, so not both).
+  EXPECT_LE(ilp.mote_cpu, p.mote_cpu_budget + 1e-9);
+}
+
+TEST(ThreeTier, MicroserverRelievesMoteCpu) {
+  ThreeTierProblem p = chain();
+  // Mote can't run anything; without a microserver the raw stream
+  // (100 B/s) would cross both links.
+  p.mote_cpu_budget = 0.0;
+  const ThreeTierResult r = solve_three_tier(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.tiers[1], Tier::kMicro);
+  EXPECT_EQ(r.tiers[2], Tier::kMicro);
+  EXPECT_DOUBLE_EQ(r.mote_net, 100.0);  // raw crosses the radio once
+  EXPECT_DOUBLE_EQ(r.micro_net, 5.0);   // but the uplink carries features
+}
+
+TEST(ThreeTier, TightUplinkForcesMicroProcessing) {
+  ThreeTierProblem p = chain();
+  p.mote_cpu_budget = 0.0;
+  p.micro_net_budget = 10.0;  // uplink can't carry the raw stream
+  const ThreeTierResult r = solve_three_tier(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.micro_net, 10.0 + 1e-9);
+}
+
+TEST(ThreeTier, InfeasibleWhenNothingFits) {
+  ThreeTierProblem p = chain();
+  p.mote_cpu_budget = 0.0;
+  p.micro_cpu_budget = 0.0;
+  p.micro_net_budget = 10.0;  // must process, but nowhere to do it
+  const ThreeTierResult r = solve_three_tier(p);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(ThreeTier, DegeneratesToTwoTierWhenMicroDisabled) {
+  // With zero micro CPU and free pass-through, the three-tier model
+  // behaves like node/server: operators sit on the mote or the server.
+  ThreeTierProblem p = chain();
+  p.micro_cpu_budget = 0.0;
+  const ThreeTierResult r = solve_three_tier(p);
+  ASSERT_TRUE(r.feasible);
+  for (Tier t : r.tiers) {
+    EXPECT_TRUE(t == Tier::kMote || t == Tier::kServer);
+  }
+}
+
+class ThreeTierRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreeTierRandom, MatchesExhaustive) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> cpu(0.05, 0.6);
+  std::uniform_real_distribution<double> bw(1.0, 50.0);
+
+  ThreeTierProblem p;
+  const std::size_t n = 7;  // src + 5 movable + sink
+  p.vertices.push_back(vtx("src", 0.0, 0.0, Tier::kMote, Tier::kMote));
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double c1 = cpu(rng);
+    p.vertices.push_back(vtx(("v" + std::to_string(i)).c_str(), c1,
+                             c1 * 0.3, Tier::kMote, Tier::kServer));
+  }
+  p.vertices.push_back(vtx("sink", 0.0, 0.0, Tier::kServer, Tier::kServer));
+  // Random DAG: each vertex fed by a random earlier one.
+  for (std::size_t i = 1; i < n; ++i) {
+    p.edges.push_back({rng() % i, i, bw(rng)});
+  }
+  p.mote_cpu_budget = 0.7;
+  p.micro_cpu_budget = 0.4;
+  p.mote_net_budget = 1e9;
+  p.micro_net_budget = 1e9;
+  p.alpha_mote = 0.1;
+  p.alpha_micro = 0.02;
+  p.beta_mote = 1.0;
+  p.beta_micro = 0.5;
+
+  const ThreeTierResult ilp = solve_three_tier(p);
+  const ThreeTierResult truth = exhaustive_three_tier(p);
+  ASSERT_EQ(ilp.feasible, truth.feasible) << "seed " << GetParam();
+  if (truth.feasible) {
+    EXPECT_NEAR(ilp.objective, truth.objective,
+                1e-6 * (1.0 + truth.objective))
+        << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreeTierRandom, ::testing::Range(1, 21));
+
+TEST(ThreeTier, ContractChecks) {
+  ThreeTierProblem p;
+  EXPECT_THROW(p.check(), ContractError);
+  p = chain();
+  p.edges.push_back({1, 1, 1.0});
+  EXPECT_THROW(p.check(), ContractError);
+  p = chain();
+  p.vertices[1].cpu_mote = -1.0;
+  EXPECT_THROW(p.check(), ContractError);
+}
