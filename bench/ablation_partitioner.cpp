@@ -68,16 +68,23 @@ int main() {
   using wishbone::util::Stopwatch;
   bench::header("Ablation", "preprocessing / formulation / heuristic / warm start");
 
-  // --- 1 & 2 on the full EEG app.
+  // --- 1 & 2 on the full EEG app. Same protocol as the Fig. 6 sweep:
+  // CPU-bound knapsack (other budgets lifted) at a mid-sweep rate where
+  // the instance is feasible but combinatorially hard, with a fixed
+  // node budget so configurations compare at equal search breadth.
   auto pe = bench::profiled_eeg(apps::EegConfig{}, 3);
   const auto pins = graph::analyze_pins(pe.app.g, graph::Mode::kPermissive);
-  const auto prob = make_problem(pe.app.g, pins, pe.pd,
-                                 profile::tmote_sky(),
-                                 pe.app.full_rate_events_per_sec() * 4.0);
+  auto prob = make_problem(pe.app.g, pins, pe.pd,
+                           profile::tmote_sky(),
+                           pe.app.full_rate_events_per_sec() * 4.0);
+  prob.net_budget = 1e18;
+  prob.ram_budget = kNoResourceBudget;
+  prob.rom_budget = kNoResourceBudget;
 
-  std::printf("EEG app (1412 ops) at 4x rate on TMoteSky:\n");
-  std::printf("%-36s %10s %12s %12s %10s\n", "configuration", "vars",
-              "solve (s)", "objective", "bnb nodes");
+  std::printf("EEG app (1412 ops) at 4x rate on TMoteSky, CPU-bound, "
+              "<=400 B&B nodes:\n");
+  std::printf("%-36s %10s %12s %12s %10s %12s\n", "configuration", "vars",
+              "solve (s)", "objective", "bnb nodes", "lp iters");
   struct Cfg {
     const char* name;
     bool prep;
@@ -95,7 +102,15 @@ int main() {
     opts.preprocess = c.prep;
     opts.formulation = c.form;
     opts.warm_start = c.warm;
+    if (!c.warm) {
+      // Full seed solver for the no-warm rows: cold per-node LPs with
+      // full Dantzig pricing and no reduced-cost fixing.
+      opts.mip.warm_lp = false;
+      opts.mip.reduced_cost_fixing = false;
+      opts.mip.lp.candidate_list_size = 0;
+    }
     opts.mip.time_limit_s = 60.0;  // cap pathological configurations
+    opts.mip.max_nodes = 400;      // equal search breadth across configs
     Stopwatch sw;
     const auto r = solve_partition(prob, opts);
     const double t = sw.elapsed_seconds();
@@ -104,8 +119,9 @@ int main() {
         (c.form == Formulation::kGeneral
              ? 2 * (c.prep ? r.prep.edges_after : prob.num_edges())
              : 0);
-    std::printf("%-36s %10zu %12.3f %12.1f %10zu\n", c.name, vars, t,
-                r.feasible ? r.objective : -1.0, r.solver.nodes_explored);
+    std::printf("%-36s %10zu %12.3f %12.1f %10zu %12zu\n", c.name, vars, t,
+                r.feasible ? r.objective : -1.0, r.solver.nodes_explored,
+                r.solver.lp_iterations);
   }
 
   // --- 3: ILP vs greedy on random layered DAGs.

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/eeg.hpp"
@@ -18,6 +19,73 @@
 #include "profile/profiler.hpp"
 
 namespace wishbone::bench {
+
+/// Minimal ordered JSON object writer for machine-readable bench output
+/// (e.g. BENCH_fig6.json) so the perf trajectory of the solver can be
+/// tracked across PRs without scraping stdout.
+class Json {
+ public:
+  void set(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    fields_.emplace_back(key, buf);
+  }
+  void set(const std::string& key, std::size_t v) {
+    fields_.emplace_back(key, std::to_string(v));
+  }
+  void set(const std::string& key, const std::string& v) {
+    std::string out = "\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    out += "\"";
+    fields_.emplace_back(key, out);
+  }
+  void set_array(const std::string& key, const std::vector<double>& vs) {
+    std::string out = "[";
+    char buf[64];
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      std::snprintf(buf, sizeof buf, "%.17g", vs[i]);
+      if (i) out += ",";
+      out += buf;
+    }
+    out += "]";
+    fields_.emplace_back(key, out);
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out += "  \"" + fields_[i].first + "\": " + fields_[i].second;
+      if (i + 1 < fields_.size()) out += ",";
+      out += "\n";
+    }
+    out += "}\n";
+    return out;
+  }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    const std::string s = str();
+    std::fwrite(s.data(), 1, s.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 struct ProfiledSpeech {
   apps::SpeechApp app;

@@ -10,7 +10,19 @@
 // discovery much faster than proof, with a heavy tail — is the target.
 // The sweep size is configurable (argv[1], default 120) so the bench
 // finishes in minutes rather than hours.
+//
+// Usage: bench_fig6_solver_cdf [runs] [per_solve_limit_s] [max_nodes]
+//                              [mode]
+//   max_nodes  per-solve B&B node budget, 0 = unlimited (default). A
+//              finite budget makes solver A/B comparisons well-defined
+//              on the censored middle of the sweep: both solvers then
+//              do the same breadth of search and the LP-iteration and
+//              wall-clock totals measure work, not throughput-at-cap.
+//   mode       "warm" (default; persistent simplex state, reduced-cost
+//              fixing) or "seed" (cold per-node LPs, no fixing — the
+//              pre-warm-start solver, for baseline comparisons).
 #include <cstdlib>
+#include <cstring>
 
 #include "bench_common.hpp"
 #include "graph/pinning.hpp"
@@ -27,6 +39,19 @@ int main(int argc, char** argv) {
   // right-censored at this limit and the censored fraction is reported.
   const double per_solve_limit_s =
       argc > 2 ? std::atof(argv[2]) : 20.0;
+  const std::size_t max_nodes =
+      argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 0;
+  if (argc > 4 && std::strcmp(argv[4], "seed") != 0 &&
+      std::strcmp(argv[4], "warm") != 0) {
+    std::fprintf(stderr,
+                 "unknown mode '%s' (expected 'warm' or 'seed')\n", argv[4]);
+    return 1;
+  }
+  const bool seed_solver = argc > 4 && std::strcmp(argv[4], "seed") == 0;
+  if (runs == 0) {
+    std::fprintf(stderr, "runs must be >= 1\n");
+    return 1;
+  }
 
   bench::header("Figure 6",
                 "solver runtime CDF, full EEG app (1412 operators)");
@@ -40,9 +65,14 @@ int main(int argc, char** argv) {
   const double base = pe.app.full_rate_events_per_sec();
   const auto plat = profile::tmote_sky();
 
-  std::vector<double> discover, prove;
+  std::vector<double> discover, prove, objectives, proved, point_nodes,
+      point_iters;
   std::size_t feasible = 0;
   std::size_t censored = 0;
+  std::size_t total_nodes = 0;
+  std::size_t total_lp_iters = 0;
+  std::size_t total_rc_fixed = 0;
+  double total_wall_s = 0.0;
   for (std::size_t i = 0; i < runs; ++i) {
     // Linear rate sweep over everything-fits ... nothing-fits. Like the
     // paper's 2100-invocation experiment, the objective minimizes
@@ -58,8 +88,34 @@ int main(int argc, char** argv) {
     prob.rom_budget = partition::kNoResourceBudget;
     partition::PartitionOptions opts;
     opts.mip.time_limit_s = per_solve_limit_s;
+    if (max_nodes > 0) opts.mip.max_nodes = max_nodes;
+    if (seed_solver) {
+      // Pre-warm-start solver, identical partitioner heuristics: every
+      // node LP cold-starts with full Dantzig pricing, and no reduced-
+      // cost fixing shrinks the tree. Isolates the solver change in
+      // A/B runs.
+      opts.mip.warm_lp = false;
+      opts.mip.reduced_cost_fixing = false;
+      opts.mip.lp.candidate_list_size = 0;
+    }
     const auto r = partition::solve_partition(prob, opts);
-    if (!r.solver.has_incumbent) continue;
+    total_nodes += r.solver.nodes_explored;
+    total_lp_iters += r.solver.lp_iterations;
+    total_rc_fixed += r.solver.vars_fixed_by_reduced_cost;
+    total_wall_s += r.solver.time_total;
+    // "Proved" = the instance was fully resolved: optimality shown or
+    // infeasibility established. 0 marks a time/node-limit censoring.
+    proved.push_back(r.solver.status == ilp::SolveStatus::kOptimal ||
+                             r.solver.status == ilp::SolveStatus::kInfeasible
+                         ? 1.0
+                         : 0.0);
+    point_nodes.push_back(static_cast<double>(r.solver.nodes_explored));
+    point_iters.push_back(static_cast<double>(r.solver.lp_iterations));
+    if (!r.solver.has_incumbent) {
+      objectives.push_back(-1.0);
+      continue;
+    }
+    objectives.push_back(r.solver.objective);
     ++feasible;
     // The rounding hook discovers an incumbent at the root; time_to_best
     // is the moment the final optimum appeared, time_total includes the
@@ -97,5 +153,37 @@ int main(int argc, char** argv) {
   std::printf("censored instances prove slower than %.0f s each — the "
               "paper's own proof tail ran to ~12 minutes\n",
               per_solve_limit_s);
+  std::printf("\nsolver totals (%s): %zu B&B nodes, %zu LP iterations, "
+              "%zu reduced-cost fixings, %.2f s wall\n",
+              seed_solver ? "seed" : "warm", total_nodes, total_lp_iters,
+              total_rc_fixed, total_wall_s);
+
+  // Machine-readable record so the solver's perf trajectory is tracked
+  // across PRs (nodes / LP iterations / discover / prove / objectives).
+  bench::Json j;
+  j.set("bench", std::string("fig6_solver_cdf"));
+  j.set("mode", std::string(seed_solver ? "seed" : "warm"));
+  j.set("runs", runs);
+  j.set("per_solve_limit_s", per_solve_limit_s);
+  j.set("max_nodes_per_solve", max_nodes);
+  j.set("feasible", feasible);
+  j.set("censored_proofs", censored);
+  j.set("total_nodes", total_nodes);
+  j.set("total_lp_iterations", total_lp_iters);
+  j.set("total_rc_fixings", total_rc_fixed);
+  j.set("total_wall_s", total_wall_s);
+  j.set("discover_p50_s",
+        discover.empty() ? -1.0 : util::percentile(discover, 50.0));
+  j.set("discover_p95_s",
+        discover.empty() ? -1.0 : util::percentile(discover, 95.0));
+  j.set("discover_max_s",
+        discover.empty() ? -1.0 : util::percentile(discover, 100.0));
+  j.set("prove_p50_s", prove.empty() ? -1.0 : util::percentile(prove, 50.0));
+  j.set("prove_max_s", prove.empty() ? -1.0 : util::percentile(prove, 100.0));
+  j.set_array("objectives", objectives);
+  j.set_array("proved", proved);
+  j.set_array("nodes_per_point", point_nodes);
+  j.set_array("lp_iterations_per_point", point_iters);
+  j.write("BENCH_fig6.json");
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <queue>
 
 #include "util/assert.hpp"
@@ -11,9 +12,24 @@ namespace wishbone::ilp {
 
 namespace {
 
+/// One bound change: variable `var` restricted to [lo, up].
+struct BoundDelta {
+  int var;
+  double lo;
+  double up;
+};
+
+/// One link in a node's chain of bound changes back to the root: the
+/// branching delta plus any reduced-cost fixings discovered alongside
+/// it. Ancestry is shared (shared_ptr spine), so a node costs one link
+/// instead of two n-sized bound vectors.
+struct DeltaLink {
+  std::shared_ptr<const DeltaLink> parent;
+  std::vector<BoundDelta> deltas;
+};
+
 struct Node {
-  std::vector<double> lower;
-  std::vector<double> upper;
+  std::shared_ptr<const DeltaLink> chain;  ///< null = root bounds
   double parent_bound = -kInf;  ///< LP bound of the parent (for pruning)
   std::size_t depth = 0;
 };
@@ -48,17 +64,24 @@ int pick_branch_var(const LinearProgram& lp, const std::vector<double>& x,
 
 }  // namespace
 
-MipResult BranchAndBound::solve(LinearProgram lp,
+MipResult BranchAndBound::solve(const LinearProgram& lp,
                                 const MipOptions& opts) const {
   util::Stopwatch clock;
   MipResult res;
-  SimplexSolver simplex;
 
   const int n = lp.num_variables();
   std::vector<double> root_lo(n), root_hi(n);
   for (int v = 0; v < n; ++v) {
     root_lo[v] = lp.lower(v);
     root_hi[v] = lp.upper(v);
+  }
+
+  // The one simplex state shared by every node LP. Bound deltas are
+  // replayed onto it per node; in warm mode each solve re-enters from
+  // the basis the previous node left behind.
+  SimplexState state(lp, opts.lp);
+  if (opts.warm_basis && !opts.warm_basis->empty()) {
+    (void)state.load_basis(*opts.warm_basis);  // cold fallback inside
   }
 
   double incumbent_obj = kInf;
@@ -92,7 +115,9 @@ MipResult BranchAndBound::solve(LinearProgram lp,
       stack.pop_back();
       return nd;
     }
-    Node nd = best_first.top();
+    // Move out of the queue's top slot: pop() destroys it anyway, and a
+    // Node carries a shared_ptr chain we'd otherwise copy-then-free.
+    Node nd = std::move(const_cast<Node&>(best_first.top()));
     best_first.pop();
     return nd;
   };
@@ -105,10 +130,31 @@ MipResult BranchAndBound::solve(LinearProgram lp,
     return best_first.empty() ? kInf : best_first.top().parent_bound;
   };
 
-  push(Node{root_lo, root_hi, -kInf, 0});
+  // Bound deltas currently applied to `state` on top of the root
+  // bounds. Node switches reset exactly these variables and replay the
+  // incoming node's chain root-to-leaf (later links only tighten, so
+  // replay order makes the leaf's bounds win).
+  std::vector<int> applied_vars;
+  std::vector<const DeltaLink*> link_scratch;
+  auto apply_node = [&](const Node& nd) {
+    for (int v : applied_vars) state.set_bounds(v, root_lo[v], root_hi[v]);
+    applied_vars.clear();
+    link_scratch.clear();
+    for (const DeltaLink* l = nd.chain.get(); l != nullptr;
+         l = l->parent.get()) {
+      link_scratch.push_back(l);
+    }
+    for (auto it = link_scratch.rbegin(); it != link_scratch.rend(); ++it) {
+      for (const BoundDelta& d : (*it)->deltas) {
+        state.set_bounds(d.var, d.lo, d.up);
+        applied_vars.push_back(d.var);
+      }
+    }
+  };
+
+  push(Node{nullptr, -kInf, 0});
 
   bool hit_limit = false;
-  bool root_infeasible = true;  // until any node LP is feasible
   while (!empty()) {
     if (clock.elapsed_seconds() > opts.time_limit_s ||
         res.nodes_explored >= opts.max_nodes) {
@@ -121,8 +167,9 @@ MipResult BranchAndBound::solve(LinearProgram lp,
         std::max(opts.gap_abs, opts.gap_rel * std::fabs(incumbent_obj));
     if (nd.parent_bound >= incumbent_obj - prune_margin) continue;
 
-    for (int v = 0; v < n; ++v) lp.set_bounds(v, nd.lower[v], nd.upper[v]);
-    const LpSolution rel = simplex.solve(lp, opts.lp);
+    apply_node(nd);
+    if (!opts.warm_lp) state.reset();  // seed behavior: cold per node
+    const LpSolution rel = state.solve();
     res.lp_iterations += rel.iterations;
     ++res.nodes_explored;
 
@@ -131,7 +178,6 @@ MipResult BranchAndBound::solve(LinearProgram lp,
       hit_limit = true;  // numerical failure in a node LP
       break;
     }
-    root_infeasible = false;
 
     // Primal rounding heuristic on shallow nodes.
     if (opts.rounding_hook && nd.depth <= opts.rounding_depth) {
@@ -183,19 +229,47 @@ MipResult BranchAndBound::solve(LinearProgram lp,
       continue;
     }
 
-    // Branch: floor side and ceil side.
+    // Reduced-cost fixing (both children inherit these): a nonbasic
+    // integer variable resting on a bound whose reduced cost alone
+    // lifts this node's LP bound past the incumbent cutoff can never
+    // move in an *improving* subtree solution — pin it. Only integral
+    // bounds qualify (the next integer point is then a full unit away).
+    std::vector<BoundDelta> fixings;
+    if (opts.reduced_cost_fixing && res.has_incumbent) {
+      const double cutoff = incumbent_obj - node_margin;
+      const std::vector<double>& rc = state.reduced_costs();
+      for (int v = 0; v < n; ++v) {
+        if (!lp.is_integer(v)) continue;
+        const double lo = state.lower(v);
+        const double up = state.upper(v);
+        if (lo == up || up - lo < 1.0 - opts.int_tol) continue;
+        if (std::floor(lo) != lo || std::floor(up) != up) continue;
+        if (rc[v] > 0.0 && rel.x[v] <= lo + opts.int_tol &&
+            rel.objective + rc[v] >= cutoff) {
+          fixings.push_back({v, lo, lo});
+        } else if (rc[v] < 0.0 && rel.x[v] >= up - opts.int_tol &&
+                   rel.objective - rc[v] >= cutoff) {
+          fixings.push_back({v, up, up});
+        }
+      }
+      res.vars_fixed_by_reduced_cost += fixings.size();
+    }
+
+    // Branch: floor side and ceil side, as deltas on this node's chain.
     const double xb = rel.x[branch];
-    Node down = nd;
-    down.upper[branch] = std::floor(xb);
-    down.parent_bound = rel.objective;
-    down.depth = nd.depth + 1;
-    Node up = nd;
-    up.lower[branch] = std::ceil(xb);
-    up.parent_bound = rel.objective;
-    up.depth = nd.depth + 1;
+    auto extend = [&](double lo, double up) {
+      auto link = std::make_shared<DeltaLink>();
+      link->parent = nd.chain;
+      link->deltas = fixings;
+      link->deltas.push_back({branch, lo, up});
+      return link;
+    };
+    Node down{extend(state.lower(branch), std::floor(xb)), rel.objective,
+              nd.depth + 1};
+    Node up{extend(std::ceil(xb), state.upper(branch)), rel.objective,
+            nd.depth + 1};
     if (opts.depth_first) {
-      // Push the floor side last so the search dives toward f_v = 0
-      // ... actually dive toward the side nearest the LP value.
+      // Dive toward the side nearest the LP value.
       if (xb - std::floor(xb) > 0.5) {
         push(std::move(down));
         push(std::move(up));
@@ -210,6 +284,7 @@ MipResult BranchAndBound::solve(LinearProgram lp,
   }
 
   res.time_total = clock.elapsed_seconds();
+  res.final_basis = state.extract_basis();
   // The proven lower bound is the least bound among unexplored nodes;
   // with the tree exhausted it is the incumbent itself.
   const double open_bound = open_best_bound();
@@ -220,7 +295,6 @@ MipResult BranchAndBound::solve(LinearProgram lp,
     res.status = SolveStatus::kIterationLimit;
   } else if (!res.has_incumbent) {
     res.status = SolveStatus::kInfeasible;
-    (void)root_infeasible;
   } else {
     res.status = SolveStatus::kOptimal;
     res.best_bound = res.objective;

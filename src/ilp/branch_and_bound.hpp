@@ -7,6 +7,15 @@
 // different quantities: the time at which the optimal solution was
 // *discovered* (first incumbent equal to the final optimum) and the
 // time needed to *prove* optimality (search exhausted / gap closed).
+//
+// Incremental state: all node LPs share one SimplexState. A node stores
+// only the chain of bound deltas back to the root (shared ancestry, so
+// a node costs O(1) extra memory instead of two n-vectors), the solver
+// replays the delta chain onto the shared state, and each LP re-solve
+// warm-starts from the basis the previous node left behind — sibling
+// LPs differ by a single bound, so phase-1 repair is a few pivots.
+// Reduced-cost fixing pins 0/1 indicators whose reduced cost already
+// closes the incumbent gap, shrinking the tree.
 #pragma once
 
 #include <functional>
@@ -41,6 +50,18 @@ struct MipOptions {
       const std::vector<double>&)>
       rounding_hook;
   std::size_t rounding_depth = 1;
+  /// Warm-started node LPs: reuse one SimplexState for every node,
+  /// re-entering from the previous node's basis. false restores the
+  /// seed behavior (every node LP cold-starts from the crash basis) —
+  /// kept for A/B measurement and the warm-vs-cold property tests.
+  bool warm_lp = true;
+  /// Fix integer variables whose reduced cost proves no improving
+  /// solution moves them off their bound (requires an incumbent).
+  bool reduced_cost_fixing = true;
+  /// Optional basis inherited from a structurally identical solve (e.g.
+  /// the previous rate-search probe); loaded into the shared state
+  /// before the root LP. Ignored on shape mismatch.
+  std::optional<Basis> warm_basis;
 };
 
 struct IncumbentRecord {
@@ -64,6 +85,12 @@ struct MipResult {
   double time_total = 0.0;                ///< includes the proof phase
   std::vector<IncumbentRecord> incumbents;
 
+  /// Basis of the shared simplex state at termination; thread it into
+  /// MipOptions::warm_basis of the next structurally identical solve.
+  Basis final_basis;
+  /// Variables pinned by reduced-cost fixing across the whole search.
+  std::size_t vars_fixed_by_reduced_cost = 0;
+
   /// Absolute optimality gap at termination (0 when proved optimal).
   [[nodiscard]] double gap() const {
     return has_incumbent ? objective - best_bound : kInf;
@@ -72,9 +99,9 @@ struct MipResult {
 
 class BranchAndBound {
  public:
-  /// Solves the MIP. The model is taken by value because node expansion
-  /// rewrites variable bounds in place.
-  [[nodiscard]] MipResult solve(LinearProgram lp,
+  /// Solves the MIP. The model is left untouched: node bounds live in
+  /// the solver's own SimplexState, never written back into `lp`.
+  [[nodiscard]] MipResult solve(const LinearProgram& lp,
                                 const MipOptions& opts = {}) const;
 };
 

@@ -33,8 +33,10 @@ void LinearProgram::add_constraint(Constraint c) {
 void LinearProgram::set_bounds(int v, double lower, double upper) {
   check_var(v);
   WB_REQUIRE(lower <= upper, "set_bounds: lower > upper");
+  if (lower_[v] == lower && upper_[v] == upper) return;
   lower_[v] = lower;
   upper_[v] = upper;
+  ++bounds_revision_;
 }
 
 double LinearProgram::objective_value(const std::vector<double>& x) const {

@@ -3,6 +3,7 @@
 // model API in the paper (§4.2.1, footnote 3).
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <utility>
@@ -35,9 +36,17 @@ class LinearProgram {
 
   void add_constraint(Constraint c);
 
-  /// Tightens (replaces) the bounds of variable `v`. Used by branch and
-  /// bound to fix binaries without rebuilding the model.
+  /// Tightens (replaces) the bounds of variable `v` without rebuilding
+  /// the model. Bumps the bound revision counter so attached solver
+  /// state (SimplexState::sync_bounds) can detect the change cheaply.
   void set_bounds(int v, double lower, double upper);
+
+  /// Monotone counter incremented by every effective set_bounds call.
+  /// Solver state records the revision it last mirrored; equality means
+  /// the bounds it holds are current and a resync is a no-op.
+  [[nodiscard]] std::uint64_t bounds_revision() const {
+    return bounds_revision_;
+  }
 
   [[nodiscard]] int num_variables() const { return static_cast<int>(lower_.size()); }
   [[nodiscard]] int num_constraints() const { return static_cast<int>(constraints_.size()); }
@@ -68,6 +77,7 @@ class LinearProgram {
   std::vector<double> obj_;
   std::vector<bool> integer_;
   std::vector<Constraint> constraints_;
+  std::uint64_t bounds_revision_ = 0;
 };
 
 }  // namespace wishbone::ilp

@@ -7,340 +7,540 @@
 
 namespace wishbone::ilp {
 
-namespace {
+SimplexState::SimplexState(const LinearProgram& lp,
+                           const SimplexOptions& opts)
+    : opts_(opts), n_struct_(lp.num_variables()),
+      m_(lp.num_constraints()), synced_revision_(lp.bounds_revision()) {
+  const int n_total = n_struct_ + m_;
+  lo_.resize(n_total);
+  up_.resize(n_total);
+  cost_.resize(n_total, 0.0);
+  cols_.resize(n_total);
+  b_.resize(m_, 0.0);
+  reduced_costs_.assign(n_struct_, 0.0);
+  y_scratch_.assign(m_, 0.0);
 
-/// Internal working form: minimize c.x subject to Ax (<=|==) b with
-/// variable bounds; one slack per row so the all-slack basis exists.
-class Tableau {
- public:
-  Tableau(const LinearProgram& lp, const SimplexOptions& opts)
-      : opts_(opts), n_struct_(lp.num_variables()),
-        m_(lp.num_constraints()) {
-    const int n_total = n_struct_ + m_;
-    lo_.resize(n_total);
-    up_.resize(n_total);
-    cost_.resize(n_total, 0.0);
-    cols_.resize(n_total);
-    b_.resize(m_, 0.0);
-
-    for (int j = 0; j < n_struct_; ++j) {
-      lo_[j] = lp.lower(j);
-      up_[j] = lp.upper(j);
-      cost_[j] = lp.objective_coeff(j);
+  for (int j = 0; j < n_struct_; ++j) {
+    lo_[j] = lp.lower(j);
+    up_[j] = lp.upper(j);
+    cost_[j] = lp.objective_coeff(j);
+  }
+  for (int i = 0; i < m_; ++i) {
+    const Constraint& c = lp.constraints()[i];
+    const double sign = (c.rel == Relation::kGe) ? -1.0 : 1.0;
+    b_[i] = sign * c.rhs;
+    for (const auto& [v, coeff] : c.terms) {
+      if (coeff != 0.0) cols_[v].emplace_back(i, sign * coeff);
     }
-    for (int i = 0; i < m_; ++i) {
-      const Constraint& c = lp.constraints()[i];
-      const double sign = (c.rel == Relation::kGe) ? -1.0 : 1.0;
-      b_[i] = sign * c.rhs;
-      for (const auto& [v, coeff] : c.terms) {
-        if (coeff != 0.0) cols_[v].emplace_back(i, sign * coeff);
-      }
-      const int slack = n_struct_ + i;
-      cols_[slack].emplace_back(i, 1.0);
-      lo_[slack] = 0.0;
-      up_[slack] = (c.rel == Relation::kEq) ? 0.0 : kInf;
-    }
-
-    // Initial state: all slacks basic; structural vars crash-started at
-    // the finite bound their objective coefficient prefers (a variable
-    // with negative cost wants to be high), which slashes phase-2
-    // pivots on partition instances where most indicators end up at 1.
-    // Any feasibility damage is repaired by phase 1.
-    basic_.resize(m_);
-    x_.resize(n_total, 0.0);
-    at_upper_.resize(n_total, false);
-    in_basis_.assign(n_total, -1);
-    for (int j = 0; j < n_struct_; ++j) {
-      const bool has_lo = std::isfinite(lo_[j]);
-      const bool has_up = std::isfinite(up_[j]);
-      if (has_lo && has_up && cost_[j] < 0.0) {
-        x_[j] = up_[j];
-        at_upper_[j] = true;
-      } else if (has_lo) {
-        x_[j] = lo_[j];
-      } else if (has_up) {
-        x_[j] = up_[j];
-        at_upper_[j] = true;
-      } else {
-        x_[j] = 0.0;  // free variable
-      }
-    }
-    for (int i = 0; i < m_; ++i) {
-      basic_[i] = n_struct_ + i;
-      in_basis_[n_struct_ + i] = i;
-    }
-    binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
-    for (int i = 0; i < m_; ++i) binv_at(i, i) = 1.0;
-    recompute_basic_values();
+    const int slack = n_struct_ + i;
+    cols_[slack].emplace_back(i, 1.0);
+    lo_[slack] = 0.0;
+    up_[slack] = (c.rel == Relation::kEq) ? 0.0 : kInf;
   }
 
-  LpSolution run() {
-    LpSolution sol;
-    // Phase 1: drive basic-variable bound violations to zero.
-    while (total_infeasibility() > opts_.eps) {
-      const StepOutcome oc = iterate(/*phase1=*/true);
-      if (oc == StepOutcome::kNoDirection) {
-        sol.status = SolveStatus::kInfeasible;
-        sol.iterations = iters_;
-        return sol;
-      }
-      if (oc == StepOutcome::kIterLimit) {
-        sol.status = SolveStatus::kIterationLimit;
-        sol.iterations = iters_;
-        return sol;
-      }
-      if (oc == StepOutcome::kUnbounded) {
-        // Phase-1 objective is bounded below; an unblocked ray means
-        // numerical trouble. Report as an iteration failure.
-        sol.status = SolveStatus::kIterationLimit;
-        sol.iterations = iters_;
-        return sol;
+  reset();
+}
+
+void SimplexState::reset() {
+  // Cold start: all slacks basic; structural vars crash-started at the
+  // finite bound their objective coefficient prefers (a variable with
+  // negative cost wants to be high), which slashes phase-2 pivots on
+  // partition instances where most indicators end up at 1. Any
+  // feasibility damage is repaired by phase 1.
+  const int n_total = n_struct_ + m_;
+  basic_.resize(m_);
+  x_.assign(n_total, 0.0);
+  at_upper_.assign(n_total, false);
+  in_basis_.assign(n_total, -1);
+  for (int j = 0; j < n_struct_; ++j) {
+    const bool has_lo = std::isfinite(lo_[j]);
+    const bool has_up = std::isfinite(up_[j]);
+    if (has_lo && has_up && cost_[j] < 0.0) {
+      x_[j] = up_[j];
+      at_upper_[j] = true;
+    } else if (has_lo) {
+      x_[j] = lo_[j];
+    } else if (has_up) {
+      x_[j] = up_[j];
+      at_upper_[j] = true;
+    } else {
+      x_[j] = 0.0;  // free variable
+    }
+  }
+  for (int i = 0; i < m_; ++i) {
+    basic_[i] = n_struct_ + i;
+    in_basis_[n_struct_ + i] = i;
+  }
+  binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+  for (int i = 0; i < m_; ++i) binv_at(i, i) = 1.0;
+  candidates_.clear();
+  recompute_basic_values();
+  basics_dirty_ = false;
+  reduced_costs_valid_ = false;
+}
+
+void SimplexState::snap_nonbasic(int j) {
+  // A nonbasic variable must rest on one of its finite bounds (free
+  // variables keep their value).
+  const bool has_lo = std::isfinite(lo_[j]);
+  const bool has_up = std::isfinite(up_[j]);
+  double nx = x_[j];
+  if (at_upper_[j] && has_up) {
+    nx = up_[j];
+  } else if (has_lo) {
+    nx = lo_[j];
+    at_upper_[j] = false;
+  } else if (has_up) {
+    nx = up_[j];
+    at_upper_[j] = true;
+  }
+  if (nx != x_[j]) {
+    x_[j] = nx;
+    basics_dirty_ = true;
+  }
+}
+
+void SimplexState::set_bounds(int v, double lo, double up) {
+  WB_REQUIRE(v >= 0 && v < n_struct_,
+             "set_bounds: structural variable index out of range");
+  WB_REQUIRE(lo <= up, "set_bounds: lower > upper");
+  if (lo_[v] == lo && up_[v] == up) return;
+  lo_[v] = lo;
+  up_[v] = up;
+  bounds_diverged_ = true;  // state no longer mirrors the source model
+  reduced_costs_valid_ = false;
+  if (in_basis_[v] < 0) snap_nonbasic(v);
+  // Basic variables keep their value; if the edit pushed one outside
+  // its bounds, the next solve()'s phase 1 repairs it from this basis.
+}
+
+void SimplexState::sync_bounds(const LinearProgram& lp) {
+  WB_REQUIRE(lp.num_variables() == n_struct_ &&
+                 lp.num_constraints() == m_,
+             "sync_bounds: model shape mismatch");
+  // The revision short-circuit is only sound when this state still
+  // mirrors the model it recorded the revision from: direct set_bounds
+  // calls on the state (or a different same-shape model) diverge it.
+  if (!bounds_diverged_ && lp.bounds_revision() == synced_revision_) return;
+  for (int v = 0; v < n_struct_; ++v) set_bounds(v, lp.lower(v), lp.upper(v));
+  synced_revision_ = lp.bounds_revision();
+  bounds_diverged_ = false;
+}
+
+Basis SimplexState::extract_basis() const {
+  Basis b;
+  b.basic = basic_;
+  b.at_upper.assign(at_upper_.begin(), at_upper_.end());
+  return b;
+}
+
+bool SimplexState::load_basis(const Basis& basis) {
+  const int n_total = n_struct_ + m_;
+  if (static_cast<int>(basis.basic.size()) != m_ ||
+      static_cast<int>(basis.at_upper.size()) != n_total) {
+    reset();
+    return false;
+  }
+  for (int v : basis.basic) {
+    if (v < 0 || v >= n_total) {
+      reset();
+      return false;
+    }
+  }
+  basic_ = basis.basic;
+  in_basis_.assign(n_total, -1);
+  for (int i = 0; i < m_; ++i) {
+    if (in_basis_[basic_[i]] >= 0) {  // duplicate column
+      reset();
+      return false;
+    }
+    in_basis_[basic_[i]] = i;
+  }
+  for (int j = 0; j < n_total; ++j) at_upper_[j] = basis.at_upper[j] != 0;
+  if (!refactorize()) {
+    reset();
+    return false;
+  }
+  for (int j = 0; j < n_total; ++j) {
+    if (in_basis_[j] < 0) snap_nonbasic(j);
+  }
+  candidates_.clear();
+  recompute_basic_values();
+  basics_dirty_ = false;
+  reduced_costs_valid_ = false;
+  return true;
+}
+
+bool SimplexState::refactorize() {
+  // binv_ = B^-1 by Gauss-Jordan with partial pivoting, where column i
+  // of B is the constraint column of basic_[i].
+  std::vector<double> B(static_cast<std::size_t>(m_) * m_, 0.0);
+  for (int i = 0; i < m_; ++i) {
+    for (const auto& [row, coeff] : cols_[basic_[i]]) {
+      B[static_cast<std::size_t>(row) * m_ + i] = coeff;
+    }
+  }
+  binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+  for (int i = 0; i < m_; ++i) binv_at(i, i) = 1.0;
+  for (int col = 0; col < m_; ++col) {
+    int piv = -1;
+    double best = opts_.pivot_eps;
+    for (int r = col; r < m_; ++r) {
+      const double a = std::fabs(B[static_cast<std::size_t>(r) * m_ + col]);
+      if (a > best) {
+        best = a;
+        piv = r;
       }
     }
-    // Phase 2: optimize the true objective.
-    for (;;) {
-      const StepOutcome oc = iterate(/*phase1=*/false);
-      if (oc == StepOutcome::kNoDirection) break;  // optimal
-      if (oc == StepOutcome::kUnbounded) {
-        sol.status = SolveStatus::kUnbounded;
-        sol.iterations = iters_;
-        return sol;
-      }
-      if (oc == StepOutcome::kIterLimit) {
-        sol.status = SolveStatus::kIterationLimit;
-        sol.iterations = iters_;
-        return sol;
+    if (piv < 0) return false;  // singular basis
+    if (piv != col) {
+      for (int c = 0; c < m_; ++c) {
+        std::swap(B[static_cast<std::size_t>(piv) * m_ + c],
+                  B[static_cast<std::size_t>(col) * m_ + c]);
+        std::swap(binv_at(piv, c), binv_at(col, c));
       }
     }
-    sol.status = SolveStatus::kOptimal;
-    sol.iterations = iters_;
-    sol.x.assign(x_.begin(), x_.begin() + n_struct_);
-    sol.objective = 0.0;
-    for (int j = 0; j < n_struct_; ++j) sol.objective += cost_[j] * x_[j];
-    return sol;
+    const double d = B[static_cast<std::size_t>(col) * m_ + col];
+    for (int c = 0; c < m_; ++c) {
+      B[static_cast<std::size_t>(col) * m_ + c] /= d;
+      binv_at(col, c) /= d;
+    }
+    for (int r = 0; r < m_; ++r) {
+      if (r == col) continue;
+      const double f = B[static_cast<std::size_t>(r) * m_ + col];
+      if (f == 0.0) continue;
+      for (int c = 0; c < m_; ++c) {
+        B[static_cast<std::size_t>(r) * m_ + c] -=
+            f * B[static_cast<std::size_t>(col) * m_ + c];
+        binv_at(r, c) -= f * binv_at(col, c);
+      }
+    }
   }
+  return true;
+}
 
- private:
-  enum class StepOutcome { kPivoted, kNoDirection, kUnbounded, kIterLimit };
+double SimplexState::phase1_cost(int var) const {
+  if (x_[var] > up_[var] + opts_.eps) return 1.0;
+  if (x_[var] < lo_[var] - opts_.eps) return -1.0;
+  return 0.0;
+}
 
-  double& binv_at(int r, int c) {
-    return binv_[static_cast<std::size_t>(r) * m_ + c];
+double SimplexState::total_infeasibility() const {
+  double s = 0.0;
+  for (int i = 0; i < m_; ++i) {
+    const int v = basic_[i];
+    s += std::max(0.0, x_[v] - up_[v]);
+    s += std::max(0.0, lo_[v] - x_[v]);
   }
-  [[nodiscard]] double binv_at(int r, int c) const {
-    return binv_[static_cast<std::size_t>(r) * m_ + c];
-  }
+  return s;
+}
 
-  /// Phase-1 cost of a basic variable: +1 above its upper bound, -1
-  /// below its lower bound, 0 when feasible.
-  [[nodiscard]] double phase1_cost(int var) const {
-    if (x_[var] > up_[var] + opts_.eps) return 1.0;
-    if (x_[var] < lo_[var] - opts_.eps) return -1.0;
+void SimplexState::recompute_basic_values() {
+  // xB = Binv * (b - sum over nonbasic j of A_j x_j)
+  std::vector<double> rhs = b_;
+  const int n_total = n_struct_ + m_;
+  for (int j = 0; j < n_total; ++j) {
+    if (in_basis_[j] >= 0 || x_[j] == 0.0) continue;
+    for (const auto& [row, coeff] : cols_[j]) rhs[row] -= coeff * x_[j];
+  }
+  for (int i = 0; i < m_; ++i) {
+    double v = 0.0;
+    for (int k = 0; k < m_; ++k) v += binv_at(i, k) * rhs[k];
+    x_[basic_[i]] = v;
+  }
+}
+
+void SimplexState::compute_duals(bool phase1, std::vector<double>& y) const {
+  // y = cB' * Binv for the phase's cost vector.
+  y.assign(m_, 0.0);
+  for (int i = 0; i < m_; ++i) {
+    const double cb = phase1 ? phase1_cost(basic_[i]) : cost_[basic_[i]];
+    if (cb == 0.0) continue;
+    for (int k = 0; k < m_; ++k) y[k] += cb * binv_at(i, k);
+  }
+}
+
+double SimplexState::reduced_cost_of(int j, bool phase1,
+                                     const std::vector<double>& y) const {
+  double d = phase1 ? 0.0 : cost_[j];
+  for (const auto& [row, coeff] : cols_[j]) d -= y[row] * coeff;
+  return d;
+}
+
+double SimplexState::entering_sigma(int j, double d) const {
+  const bool is_free = !std::isfinite(lo_[j]) && !std::isfinite(up_[j]);
+  if (is_free) {
+    if (d < -opts_.eps) return 1.0;
+    if (d > opts_.eps) return -1.0;
     return 0.0;
   }
-
-  [[nodiscard]] double total_infeasibility() const {
-    double s = 0.0;
-    for (int i = 0; i < m_; ++i) {
-      const int v = basic_[i];
-      s += std::max(0.0, x_[v] - up_[v]);
-      s += std::max(0.0, lo_[v] - x_[v]);
-    }
-    return s;
+  if (at_upper_[j]) {
+    return (d > opts_.eps) ? -1.0 : 0.0;  // decreasing reduces cost
   }
+  return (d < -opts_.eps) ? 1.0 : 0.0;    // increasing reduces cost
+}
 
-  void recompute_basic_values() {
-    // xB = Binv * (b - sum over nonbasic j of A_j x_j)
-    std::vector<double> rhs = b_;
-    const int n_total = n_struct_ + m_;
-    for (int j = 0; j < n_total; ++j) {
-      if (in_basis_[j] >= 0 || x_[j] == 0.0) continue;
-      for (const auto& [row, coeff] : cols_[j]) rhs[row] -= coeff * x_[j];
+const std::vector<double>& SimplexState::reduced_costs() const {
+  // Lazy: one dual solve + pricing pass is comparable to a full simplex
+  // iteration, so it only runs for callers that actually consume the
+  // reduced costs (branch and bound's fixing pass), not on every node
+  // LP solve.
+  if (!reduced_costs_valid_) {
+    compute_duals(/*phase1=*/false, y_scratch_);
+    for (int j = 0; j < n_struct_; ++j) {
+      reduced_costs_[j] =
+          in_basis_[j] >= 0
+              ? 0.0
+              : reduced_cost_of(j, /*phase1=*/false, y_scratch_);
     }
-    for (int i = 0; i < m_; ++i) {
-      double v = 0.0;
-      for (int k = 0; k < m_; ++k) v += binv_at(i, k) * rhs[k];
-      x_[basic_[i]] = v;
+    reduced_costs_valid_ = true;
+  }
+  return reduced_costs_;
+}
+
+LpSolution SimplexState::solve() {
+  LpSolution sol;
+  iters_ = 0;
+  degenerate_run_ = 0;
+  reduced_costs_valid_ = false;  // pivots will move the basis
+  if (basics_dirty_) {
+    recompute_basic_values();
+    basics_dirty_ = false;
+  }
+  // Phase 1: drive basic-variable bound violations to zero, starting
+  // from whatever basis this state currently holds (warm re-entry after
+  // bound edits, an inherited basis, or the cold crash basis).
+  while (total_infeasibility() > opts_.eps) {
+    const StepOutcome oc = iterate(/*phase1=*/true);
+    if (oc == StepOutcome::kNoDirection) {
+      sol.status = SolveStatus::kInfeasible;
+      sol.iterations = iters_;
+      return sol;
+    }
+    if (oc == StepOutcome::kIterLimit) {
+      sol.status = SolveStatus::kIterationLimit;
+      sol.iterations = iters_;
+      return sol;
+    }
+    if (oc == StepOutcome::kUnbounded) {
+      // Phase-1 objective is bounded below; an unblocked ray means
+      // numerical trouble. Report as an iteration failure.
+      sol.status = SolveStatus::kIterationLimit;
+      sol.iterations = iters_;
+      return sol;
     }
   }
-
-  /// One pricing + ratio-test + pivot step. Returns kNoDirection when no
-  /// improving nonbasic variable exists (optimal for the current phase).
-  StepOutcome iterate(bool phase1) {
-    if (iters_ >= opts_.max_iterations) return StepOutcome::kIterLimit;
-    ++iters_;
-
-    // y = cB' * Binv for the phase's cost vector.
-    std::vector<double> y(m_, 0.0);
-    for (int i = 0; i < m_; ++i) {
-      const double cb = phase1 ? phase1_cost(basic_[i]) : cost_[basic_[i]];
-      if (cb == 0.0) continue;
-      for (int k = 0; k < m_; ++k) y[k] += cb * binv_at(i, k);
+  candidates_.clear();  // phase-1 scores are stale for phase 2
+  // Phase 2: optimize the true objective.
+  for (;;) {
+    const StepOutcome oc = iterate(/*phase1=*/false);
+    if (oc == StepOutcome::kNoDirection) break;  // optimal
+    if (oc == StepOutcome::kUnbounded) {
+      sol.status = SolveStatus::kUnbounded;
+      sol.iterations = iters_;
+      return sol;
     }
+    if (oc == StepOutcome::kIterLimit) {
+      sol.status = SolveStatus::kIterationLimit;
+      sol.iterations = iters_;
+      return sol;
+    }
+  }
+  sol.status = SolveStatus::kOptimal;
+  sol.iterations = iters_;
+  sol.x.assign(x_.begin(), x_.begin() + n_struct_);
+  sol.objective = 0.0;
+  for (int j = 0; j < n_struct_; ++j) sol.objective += cost_[j] * x_[j];
+  return sol;
+}
 
-    // Pricing: find an entering variable. Dantzig rule normally; Bland's
-    // rule (first eligible) after a run of degenerate steps.
-    const bool bland = degenerate_run_ >= 50;
-    const int n_total = n_struct_ + m_;
-    int enter = -1;
-    double enter_sigma = 0.0;
-    double best_score = phase1 ? -opts_.eps : -opts_.eps;
+SimplexState::StepOutcome SimplexState::iterate(bool phase1) {
+  if (iters_ >= opts_.max_iterations) return StepOutcome::kIterLimit;
+  ++iters_;
+
+  compute_duals(phase1, y_scratch_);
+  const std::vector<double>& y = y_scratch_;
+
+  // Pricing: find an entering variable. The candidate list from the
+  // last full scan is tried first; a full scan runs only when the list
+  // is dry (and doubles as the optimality proof when it finds nothing).
+  // Bland's rule (first eligible by index) takes over after a run of
+  // degenerate steps.
+  const bool bland = degenerate_run_ >= 50;
+  const int n_total = n_struct_ + m_;
+  int enter = -1;
+  double enter_sigma = 0.0;
+  double best_score = -opts_.eps;
+
+  if (bland) {
     for (int j = 0; j < n_total; ++j) {
-      if (in_basis_[j] >= 0) continue;
-      if (lo_[j] == up_[j]) continue;  // fixed: can never move
-      double d = phase1 ? 0.0 : cost_[j];
-      for (const auto& [row, coeff] : cols_[j]) d -= y[row] * coeff;
-      const bool is_free = !std::isfinite(lo_[j]) && !std::isfinite(up_[j]);
-      double sigma = 0.0;
-      if (is_free) {
-        if (d < -opts_.eps) sigma = 1.0;
-        else if (d > opts_.eps) sigma = -1.0;
-      } else if (at_upper_[j]) {
-        if (d > opts_.eps) sigma = -1.0;  // decreasing reduces cost
-      } else {
-        if (d < -opts_.eps) sigma = 1.0;  // increasing reduces cost
-      }
-      if (sigma == 0.0) continue;
-      if (bland) {
+      if (in_basis_[j] >= 0 || lo_[j] == up_[j]) continue;
+      const double d = reduced_cost_of(j, phase1, y);
+      const double sigma = entering_sigma(j, d);
+      if (sigma != 0.0) {
         enter = j;
         enter_sigma = sigma;
         break;
       }
-      const double score = -std::fabs(d);
-      if (score < best_score) {
-        best_score = score;
-        enter = j;
-        enter_sigma = sigma;
+    }
+  } else {
+    if (!candidates_.empty()) {
+      for (int j : candidates_) {
+        if (in_basis_[j] >= 0 || lo_[j] == up_[j]) continue;
+        const double d = reduced_cost_of(j, phase1, y);
+        const double sigma = entering_sigma(j, d);
+        if (sigma == 0.0) continue;
+        const double score = -std::fabs(d);
+        if (score < best_score) {
+          best_score = score;
+          enter = j;
+          enter_sigma = sigma;
+        }
       }
     }
-    if (enter == -1) return StepOutcome::kNoDirection;
-
-    // Direction through the basis: w = Binv * A_enter.
-    std::vector<double> w(m_, 0.0);
-    for (const auto& [row, coeff] : cols_[enter]) {
-      for (int i = 0; i < m_; ++i) w[i] += binv_at(i, row) * coeff;
-    }
-
-    // Ratio test. The entering variable moves by t >= 0 in direction
-    // enter_sigma; basic k changes at rate -enter_sigma * w[k].
-    double t_max = kInf;
-    int leave_row = -1;
-    double leave_bound = 0.0;
-    bool bound_flip = false;
-    const double span = up_[enter] - lo_[enter];
-    if (std::isfinite(span)) {
-      t_max = span;
-      bound_flip = true;
-    }
-    for (int k = 0; k < m_; ++k) {
-      const double delta = enter_sigma * w[k];  // rate of decrease of xB_k
-      if (std::fabs(delta) < opts_.pivot_eps) continue;
-      const int v = basic_[k];
-      const double xv = x_[v];
-      double t = kInf;
-      double bound = 0.0;
-      if (phase1 && xv > up_[v] + opts_.eps) {
-        // Infeasible above: only a downward move blocks, at the upper
-        // bound (first slope change of the phase-1 cost).
-        if (delta > 0) {
-          bound = up_[v];
-          t = (xv - bound) / delta;
+    if (enter == -1) {
+      // Full Dantzig scan; rebuild the candidate list from the runners-
+      // up so the next pivots price only this short list.
+      std::vector<std::pair<double, int>>& eligible = eligible_scratch_;
+      eligible.clear();  // (-|d|, j)
+      for (int j = 0; j < n_total; ++j) {
+        if (in_basis_[j] >= 0 || lo_[j] == up_[j]) continue;
+        const double d = reduced_cost_of(j, phase1, y);
+        const double sigma = entering_sigma(j, d);
+        if (sigma == 0.0) continue;
+        const double score = -std::fabs(d);
+        if (score < best_score) {
+          best_score = score;
+          enter = j;
+          enter_sigma = sigma;
         }
-      } else if (phase1 && xv < lo_[v] - opts_.eps) {
-        if (delta < 0) {
-          bound = lo_[v];
-          t = (xv - bound) / delta;
+        if (opts_.candidate_list_size > 0) eligible.emplace_back(score, j);
+      }
+      candidates_.clear();
+      if (enter != -1 && opts_.candidate_list_size > 0) {
+        const std::size_t keep =
+            std::min(opts_.candidate_list_size, eligible.size());
+        std::partial_sort(eligible.begin(), eligible.begin() + keep,
+                          eligible.end());
+        for (std::size_t i = 0; i < keep; ++i) {
+          if (eligible[i].second != enter) {
+            candidates_.push_back(eligible[i].second);
+          }
         }
+      }
+    }
+  }
+  if (enter == -1) return StepOutcome::kNoDirection;
+
+  // Direction through the basis: w = Binv * A_enter.
+  std::vector<double>& w = w_scratch_;
+  w.assign(m_, 0.0);
+  for (const auto& [row, coeff] : cols_[enter]) {
+    for (int i = 0; i < m_; ++i) w[i] += binv_at(i, row) * coeff;
+  }
+
+  // Ratio test. The entering variable moves by t >= 0 in direction
+  // enter_sigma; basic k changes at rate -enter_sigma * w[k].
+  double t_max = kInf;
+  int leave_row = -1;
+  double leave_bound = 0.0;
+  bool bound_flip = false;
+  const double span = up_[enter] - lo_[enter];
+  if (std::isfinite(span)) {
+    t_max = span;
+    bound_flip = true;
+  }
+  for (int k = 0; k < m_; ++k) {
+    const double delta = enter_sigma * w[k];  // rate of decrease of xB_k
+    if (std::fabs(delta) < opts_.pivot_eps) continue;
+    const int v = basic_[k];
+    const double xv = x_[v];
+    double t = kInf;
+    double bound = 0.0;
+    if (phase1 && xv > up_[v] + opts_.eps) {
+      // Infeasible above: only a downward move blocks, at the upper
+      // bound (first slope change of the phase-1 cost).
+      if (delta > 0) {
+        bound = up_[v];
+        t = (xv - bound) / delta;
+      }
+    } else if (phase1 && xv < lo_[v] - opts_.eps) {
+      if (delta < 0) {
+        bound = lo_[v];
+        t = (xv - bound) / delta;
+      }
+    } else {
+      if (delta > 0) {
+        if (!std::isfinite(lo_[v])) continue;
+        bound = lo_[v];
+        t = (xv - bound) / delta;
       } else {
-        if (delta > 0) {
-          if (!std::isfinite(lo_[v])) continue;
-          bound = lo_[v];
-          t = (xv - bound) / delta;
-        } else {
-          if (!std::isfinite(up_[v])) continue;
-          bound = up_[v];
-          t = (xv - bound) / delta;
-        }
-      }
-      t = std::max(t, 0.0);  // numerical: clamp tiny negatives
-      // Strict improvement takes the block; on (near-)ties prefer the
-      // smallest leaving variable index for determinism and as the
-      // Bland anti-cycling tie-break.
-      const bool tie = leave_row >= 0 && std::fabs(t - t_max) <= opts_.eps;
-      if (t < t_max - opts_.pivot_eps ||
-          (tie && v < basic_[leave_row])) {
-        t_max = t;
-        leave_row = k;
-        leave_bound = bound;
-        bound_flip = false;
+        if (!std::isfinite(up_[v])) continue;
+        bound = up_[v];
+        t = (xv - bound) / delta;
       }
     }
-
-    if (!std::isfinite(t_max)) return StepOutcome::kUnbounded;
-
-    degenerate_run_ = (t_max <= opts_.eps) ? degenerate_run_ + 1 : 0;
-
-    // Apply the step.
-    x_[enter] += enter_sigma * t_max;
-    for (int k = 0; k < m_; ++k) {
-      x_[basic_[k]] -= enter_sigma * t_max * w[k];
+    t = std::max(t, 0.0);  // numerical: clamp tiny negatives
+    // Strict improvement takes the block; on (near-)ties prefer the
+    // smallest leaving variable index for determinism and as the
+    // Bland anti-cycling tie-break.
+    const bool tie = leave_row >= 0 && std::fabs(t - t_max) <= opts_.eps;
+    if (t < t_max - opts_.pivot_eps ||
+        (tie && v < basic_[leave_row])) {
+      t_max = t;
+      leave_row = k;
+      leave_bound = bound;
+      bound_flip = false;
     }
-    if (bound_flip) {
-      at_upper_[enter] = !at_upper_[enter];
-      // Snap exactly onto the bound to stop drift.
-      x_[enter] = at_upper_[enter] ? up_[enter] : lo_[enter];
-      return StepOutcome::kPivoted;
-    }
+  }
 
-    WB_ASSERT(leave_row >= 0);
-    const int leaving = basic_[leave_row];
-    x_[leaving] = leave_bound;
-    at_upper_[leaving] =
-        std::isfinite(up_[leaving]) && leave_bound == up_[leaving];
-    in_basis_[leaving] = -1;
-    basic_[leave_row] = enter;
-    in_basis_[enter] = leave_row;
+  if (!std::isfinite(t_max)) return StepOutcome::kUnbounded;
 
-    // Binv update: eliminate the entering column from all other rows.
-    const double piv = w[leave_row];
-    WB_ASSERT_MSG(std::fabs(piv) > opts_.pivot_eps, "degenerate pivot");
-    for (int c = 0; c < m_; ++c) binv_at(leave_row, c) /= piv;
-    for (int k = 0; k < m_; ++k) {
-      if (k == leave_row || std::fabs(w[k]) < 1e-14) continue;
-      const double f = w[k];
-      for (int c = 0; c < m_; ++c) {
-        binv_at(k, c) -= f * binv_at(leave_row, c);
-      }
-    }
+  degenerate_run_ = (t_max <= opts_.eps) ? degenerate_run_ + 1 : 0;
 
-    // Periodic refresh to contain floating-point drift.
-    if (iters_ % 512 == 0) recompute_basic_values();
+  // Apply the step.
+  x_[enter] += enter_sigma * t_max;
+  for (int k = 0; k < m_; ++k) {
+    x_[basic_[k]] -= enter_sigma * t_max * w[k];
+  }
+  if (bound_flip) {
+    at_upper_[enter] = !at_upper_[enter];
+    // Snap exactly onto the bound to stop drift.
+    x_[enter] = at_upper_[enter] ? up_[enter] : lo_[enter];
     return StepOutcome::kPivoted;
   }
 
-  const SimplexOptions opts_;
-  const int n_struct_;
-  const int m_;
+  WB_ASSERT(leave_row >= 0);
+  const int leaving = basic_[leave_row];
+  x_[leaving] = leave_bound;
+  at_upper_[leaving] =
+      std::isfinite(up_[leaving]) && leave_bound == up_[leaving];
+  in_basis_[leaving] = -1;
+  basic_[leave_row] = enter;
+  in_basis_[enter] = leave_row;
 
-  std::vector<double> lo_, up_, cost_, b_;
-  std::vector<std::vector<std::pair<int, double>>> cols_;
+  // Binv update: eliminate the entering column from all other rows.
+  const double piv = w[leave_row];
+  WB_ASSERT_MSG(std::fabs(piv) > opts_.pivot_eps, "degenerate pivot");
+  for (int c = 0; c < m_; ++c) binv_at(leave_row, c) /= piv;
+  for (int k = 0; k < m_; ++k) {
+    if (k == leave_row || std::fabs(w[k]) < 1e-14) continue;
+    const double f = w[k];
+    for (int c = 0; c < m_; ++c) {
+      binv_at(k, c) -= f * binv_at(leave_row, c);
+    }
+  }
 
-  std::vector<int> basic_;
-  std::vector<int> in_basis_;
-  std::vector<bool> at_upper_;
-  std::vector<double> x_;
-  std::vector<double> binv_;
-
-  std::size_t iters_ = 0;
-  int degenerate_run_ = 0;
-};
-
-}  // namespace
+  // Periodic refresh to contain floating-point drift.
+  if (iters_ % 512 == 0) recompute_basic_values();
+  return StepOutcome::kPivoted;
+}
 
 LpSolution SimplexSolver::solve(const LinearProgram& lp,
                                 const SimplexOptions& opts) const {
   WB_REQUIRE(lp.num_variables() > 0, "LP has no variables");
-  Tableau t(lp, opts);
-  return t.run();
+  SimplexState state(lp, opts);
+  return state.solve();
 }
 
 }  // namespace wishbone::ilp

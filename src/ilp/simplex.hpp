@@ -14,11 +14,23 @@
 //    phase 1 drives bound violations of the basic variables to zero by
 //    minimizing total infeasibility with +/-1 costs, then phase 2
 //    minimizes the true objective;
-//  - Dantzig pricing with a Bland's-rule fallback after a run of
-//    degenerate pivots guards against cycling.
+//  - pricing walks a short candidate list of recently attractive
+//    columns and falls back to a full Dantzig scan only to rebuild the
+//    list or prove optimality; Bland's rule takes over after a run of
+//    degenerate pivots to guard against cycling.
+//
+// Warm starts: `SimplexState` keeps the factorized basis alive between
+// solves. Variable bound changes never touch the constraint matrix, so
+// after `set_bounds` the basis inverse stays valid and the next solve()
+// re-enters phase 1 from the inherited basis — typically a handful of
+// pivots instead of a full cold start. A basis can also be extracted
+// and loaded across states for structurally identical models (the
+// refactorization path), which branch and bound and the rate search use
+// to chain closely related solves.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "ilp/model.hpp"
@@ -43,8 +55,128 @@ struct SimplexOptions {
   std::size_t max_iterations = 200'000;
   double eps = 1e-7;          ///< feasibility / reduced-cost tolerance
   double pivot_eps = 1e-9;    ///< minimum admissible pivot magnitude
+  /// Partial (candidate-list) pricing: cap on the list of attractive
+  /// columns kept between pivots. 0 disables the list, so every
+  /// iteration prices all n+m columns (the pre-warm-start behavior).
+  std::size_t candidate_list_size = 64;
 };
 
+/// A restorable snapshot of a simplex basis: the variable occupying
+/// each basis row plus the bound every variable rests at when nonbasic.
+/// Valid across SimplexState instances of structurally identical models
+/// (same constraint rows and variable count), even when bounds or
+/// coefficients differ — loading refactorizes against the new matrix.
+struct Basis {
+  std::vector<int> basic;              ///< size m (one variable per row)
+  std::vector<std::uint8_t> at_upper;  ///< size n + m
+  [[nodiscard]] bool empty() const { return basic.empty(); }
+};
+
+/// Persistent, re-enterable simplex working state over one model shape.
+///
+/// The working form (columns, slacks, costs) is built once from the
+/// LinearProgram; after that, callers may tighten/relax variable bounds
+/// and re-solve() repeatedly. Each solve starts from the current basis
+/// (phase-1 repair if the bound edits made it infeasible) rather than
+/// from all-slacks, which is what makes the branch-and-bound sweep of
+/// Fig. 6 cheap: sibling node LPs differ by one bound.
+class SimplexState {
+ public:
+  explicit SimplexState(const LinearProgram& lp,
+                        const SimplexOptions& opts = {});
+
+  /// Replaces the bounds of structural variable `v` in the working
+  /// form. The factorized basis remains valid; a nonbasic variable is
+  /// snapped onto the bound it rests on.
+  void set_bounds(int v, double lo, double up);
+
+  /// Re-reads all structural bounds from `lp` (which must be the model
+  /// this state was built from, or one of identical shape). Cheap: the
+  /// model's bound revision counter short-circuits the no-change case.
+  void sync_bounds(const LinearProgram& lp);
+
+  [[nodiscard]] double lower(int v) const { return lo_[v]; }
+  [[nodiscard]] double upper(int v) const { return up_[v]; }
+  [[nodiscard]] int num_structural() const { return n_struct_; }
+  [[nodiscard]] int num_rows() const { return m_; }
+
+  /// Optimizes from the current basis (warm). Phase 1 repairs any
+  /// primal infeasibility introduced by bound edits, then phase 2
+  /// minimizes the true objective.
+  [[nodiscard]] LpSolution solve();
+
+  /// Discards the basis and returns to the cold-start crash basis (all
+  /// slacks basic, structural variables at their preferred bound).
+  void reset();
+
+  /// Snapshot of the current basis for warm-starting a related solve.
+  [[nodiscard]] Basis extract_basis() const;
+
+  /// Installs an inherited basis and refactorizes the basis inverse.
+  /// On shape mismatch or a singular basis the state falls back to the
+  /// cold-start basis and returns false.
+  bool load_basis(const Basis& basis);
+
+  /// Reduced costs of the structural variables (model order) for the
+  /// current basis (meaningful after a solve() that returned kOptimal);
+  /// basic variables read 0. Computed lazily on first access — callers
+  /// that never consume them (plain LP solves) pay nothing. Used by
+  /// branch and bound for reduced-cost variable fixing.
+  [[nodiscard]] const std::vector<double>& reduced_costs() const;
+
+ private:
+  enum class StepOutcome { kPivoted, kNoDirection, kUnbounded, kIterLimit };
+
+  double& binv_at(int r, int c) {
+    return binv_[static_cast<std::size_t>(r) * m_ + c];
+  }
+  [[nodiscard]] double binv_at(int r, int c) const {
+    return binv_[static_cast<std::size_t>(r) * m_ + c];
+  }
+
+  [[nodiscard]] double phase1_cost(int var) const;
+  [[nodiscard]] double total_infeasibility() const;
+  void recompute_basic_values();
+  void compute_duals(bool phase1, std::vector<double>& y) const;
+  [[nodiscard]] double reduced_cost_of(int j, bool phase1,
+                                       const std::vector<double>& y) const;
+  /// Entering-direction sign for column j given reduced cost d, or 0 if
+  /// the column cannot improve the current phase objective.
+  [[nodiscard]] double entering_sigma(int j, double d) const;
+  StepOutcome iterate(bool phase1);
+  bool refactorize();
+  void snap_nonbasic(int j);
+
+  const SimplexOptions opts_;
+  const int n_struct_;
+  const int m_;
+
+  std::vector<double> lo_, up_, cost_, b_;
+  std::vector<std::vector<std::pair<int, double>>> cols_;
+
+  std::vector<int> basic_;
+  std::vector<int> in_basis_;
+  std::vector<bool> at_upper_;
+  std::vector<double> x_;
+  std::vector<double> binv_;
+
+  std::vector<int> candidates_;          ///< partial-pricing list
+  mutable std::vector<double> reduced_costs_;  ///< lazy, per basis
+  mutable std::vector<double> y_scratch_;      ///< dual scratch (size m)
+  std::vector<double> w_scratch_;        ///< pivot-direction scratch
+  std::vector<std::pair<double, int>> eligible_scratch_;  ///< pricing
+
+  bool basics_dirty_ = false;  ///< bound edits invalidated basic values
+  mutable bool reduced_costs_valid_ = false;
+  std::uint64_t synced_revision_ = 0;  ///< model bound revision mirrored
+  bool bounds_diverged_ = false;  ///< state bounds edited past the model
+  std::size_t iters_ = 0;      ///< iterations of the current solve()
+  int degenerate_run_ = 0;
+};
+
+/// Stateless facade: one-shot solve of the LP relaxation (builds a
+/// fresh SimplexState internally). Kept for callers that do not reuse
+/// solver state.
 class SimplexSolver {
  public:
   /// Solves the LP relaxation of `lp` over its current variable bounds.

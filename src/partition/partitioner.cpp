@@ -1,6 +1,7 @@
 #include "partition/partitioner.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "ilp/simplex.hpp"
 #include "util/assert.hpp"
@@ -37,16 +38,32 @@ PartitionResult solve_partition(const PartitionProblem& p_in,
   if (opts.warm_start && opts.formulation == Formulation::kRestricted) {
     // Threshold-round shallow LP relaxations into feasible cuts inside
     // branch and bound (no extra LP solve needed: the root relaxation
-    // is already computed there).
+    // is already computed there). The root basis that produced the
+    // rounded incumbent stays live in the solver's shared SimplexState,
+    // so every subsequent node LP warm-starts from it — the rounding
+    // warm start and the basis warm start ride the same relaxation.
     mip.rounding_hook =
         [&work](const std::vector<double>& lp_x)
         -> std::optional<std::vector<double>> {
       return threshold_round(work, lp_x);
     };
+    // Round every node's relaxation, not just shallow ones: a threshold
+    // sweep costs O(V+E) per distinct f value — noise next to the node
+    // LP — and the EEG instances' deep nodes yield cuts the root
+    // relaxation never suggests. Better incumbents also feed the
+    // solver's reduced-cost fixing, which needs a tight cutoff to fire.
+    mip.rounding_depth = std::numeric_limits<std::size_t>::max();
   }
+  // opts.warm_start only governs the rounding hook; the solver knobs
+  // (warm_lp, reduced_cost_fixing, pricing, warm_basis) stay whatever
+  // the caller put in opts.mip — ablations wanting the full seed
+  // solver set those fields explicitly.
 
   ilp::BranchAndBound bnb;
   res.solver = bnb.solve(model, mip);
+  // Callers chaining related solves (rate search, repeated sweeps) pick
+  // the final basis up from res.solver.final_basis and thread it into
+  // the next solve's opts.mip.warm_basis.
   if (!res.solver.has_incumbent) {
     res.feasible = false;
     return res;

@@ -11,9 +11,22 @@ RateSearchResult max_sustainable_rate(
              "rate search: bad bracket");
   RateSearchResult res;
 
+  // Successive probes solve structurally identical ILPs (same graph,
+  // rescaled coefficients), so each solve inherits the previous probe's
+  // final simplex basis; a shape mismatch (preprocessing merged
+  // differently at this rate) just falls back to a cold start.
+  ilp::Basis carried_basis;
   auto attempt = [&](double rate) {
     ++res.partitions_solved;
-    return solve_partition(problem_at(rate), opts.partition);
+    PartitionOptions po = opts.partition;
+    if (!carried_basis.empty() && !po.mip.warm_basis) {
+      po.mip.warm_basis = carried_basis;
+    }
+    PartitionResult r = solve_partition(problem_at(rate), po);
+    if (!r.solver.final_basis.empty()) {
+      carried_basis = r.solver.final_basis;
+    }
+    return r;
   };
 
   // Fast path: everything fits at the top of the bracket.
