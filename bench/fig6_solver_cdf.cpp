@@ -11,8 +11,13 @@
 // The sweep size is configurable (argv[1], default 120) so the bench
 // finishes in minutes rather than hours.
 //
-// Usage: bench_fig6_solver_cdf [runs] [per_solve_limit_s] [max_nodes]
-//                              [mode]
+// Usage: bench_fig6_solver_cdf [--engine={auto,dense,lu}] [runs]
+//                              [per_solve_limit_s] [max_nodes] [mode]
+//   --engine   basis factorization engine for the node LPs: "dense"
+//              (PR 1's explicit inverse), "lu" (Markowitz LU + eta
+//              file), or "auto" (resolve by row count). Defaults:
+//              auto for warm mode, dense for seed mode (fidelity to
+//              the pre-LU solver).
 //   max_nodes  per-solve B&B node budget, 0 = unlimited (default). A
 //              finite budget makes solver A/B comparisons well-defined
 //              on the censored middle of the sweep: both solvers then
@@ -23,6 +28,7 @@
 //              pre-warm-start solver, for baseline comparisons).
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "graph/pinning.hpp"
@@ -31,23 +37,48 @@
 
 int main(int argc, char** argv) {
   using namespace wishbone;
+  // Split --engine= off the positional arguments.
+  bool engine_given = false;
+  ilp::BasisEngineKind engine = ilp::BasisEngineKind::kAuto;
+  std::vector<const char*> pos;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strncmp(argv[a], "--engine=", 9) == 0) {
+      const char* v = argv[a] + 9;
+      if (std::strcmp(v, "dense") == 0) {
+        engine = ilp::BasisEngineKind::kDense;
+      } else if (std::strcmp(v, "lu") == 0) {
+        engine = ilp::BasisEngineKind::kLu;
+      } else if (std::strcmp(v, "auto") == 0) {
+        engine = ilp::BasisEngineKind::kAuto;
+      } else {
+        std::fprintf(stderr,
+                     "unknown engine '%s' (expected auto, dense, lu)\n", v);
+        return 1;
+      }
+      engine_given = true;
+    } else {
+      pos.push_back(argv[a]);
+    }
+  }
   const std::size_t runs =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 16;
+      pos.size() > 0 ? static_cast<std::size_t>(std::atoi(pos[0])) : 16;
   // Per-solve wall-clock cap. The 22 nearly-identical EEG channels make
   // *proving* optimality combinatorially symmetric — the same effect
   // behind the paper's 12-minute lp_solve tails — so prove times are
   // right-censored at this limit and the censored fraction is reported.
   const double per_solve_limit_s =
-      argc > 2 ? std::atof(argv[2]) : 20.0;
+      pos.size() > 1 ? std::atof(pos[1]) : 20.0;
   const std::size_t max_nodes =
-      argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 0;
-  if (argc > 4 && std::strcmp(argv[4], "seed") != 0 &&
-      std::strcmp(argv[4], "warm") != 0) {
+      pos.size() > 2 ? static_cast<std::size_t>(std::atoll(pos[2])) : 0;
+  if (pos.size() > 3 && std::strcmp(pos[3], "seed") != 0 &&
+      std::strcmp(pos[3], "warm") != 0) {
     std::fprintf(stderr,
-                 "unknown mode '%s' (expected 'warm' or 'seed')\n", argv[4]);
+                 "unknown mode '%s' (expected 'warm' or 'seed')\n", pos[3]);
     return 1;
   }
-  const bool seed_solver = argc > 4 && std::strcmp(argv[4], "seed") == 0;
+  const bool seed_solver = pos.size() > 3 && std::strcmp(pos[3], "seed") == 0;
+  // Seed fidelity: the pre-LU solver maintained a dense inverse.
+  if (seed_solver && !engine_given) engine = ilp::BasisEngineKind::kDense;
   if (runs == 0) {
     std::fprintf(stderr, "runs must be >= 1\n");
     return 1;
@@ -66,12 +97,16 @@ int main(int argc, char** argv) {
   const auto plat = profile::tmote_sky();
 
   std::vector<double> discover, prove, objectives, proved, point_nodes,
-      point_iters;
+      point_iters, point_wall, point_refacs, point_etas;
   std::size_t feasible = 0;
   std::size_t censored = 0;
   std::size_t total_nodes = 0;
   std::size_t total_lp_iters = 0;
   std::size_t total_rc_fixed = 0;
+  std::size_t total_refacs = 0;
+  std::size_t total_etas = 0;
+  std::size_t eta_len_peak = 0;
+  const char* engine_ran = ilp::engine_name(engine);
   double total_wall_s = 0.0;
   for (std::size_t i = 0; i < runs; ++i) {
     // Linear rate sweep over everything-fits ... nothing-fits. Like the
@@ -88,6 +123,7 @@ int main(int argc, char** argv) {
     prob.rom_budget = partition::kNoResourceBudget;
     partition::PartitionOptions opts;
     opts.mip.time_limit_s = per_solve_limit_s;
+    opts.mip.lp.engine = engine;
     if (max_nodes > 0) opts.mip.max_nodes = max_nodes;
     if (seed_solver) {
       // Pre-warm-start solver, identical partitioner heuristics: every
@@ -102,6 +138,14 @@ int main(int argc, char** argv) {
     total_nodes += r.solver.nodes_explored;
     total_lp_iters += r.solver.lp_iterations;
     total_rc_fixed += r.solver.vars_fixed_by_reduced_cost;
+    total_refacs += r.solver.basis_refactorizations;
+    total_etas += r.solver.eta_updates;
+    eta_len_peak = std::max(eta_len_peak, r.solver.eta_len_peak);
+    engine_ran = ilp::engine_name(r.solver.basis_engine);  // kAuto resolved
+    point_wall.push_back(r.solver.time_total);
+    point_refacs.push_back(
+        static_cast<double>(r.solver.basis_refactorizations));
+    point_etas.push_back(static_cast<double>(r.solver.eta_updates));
     total_wall_s += r.solver.time_total;
     // "Proved" = the instance was fully resolved: optimality shown or
     // infeasibility established. 0 marks a time/node-limit censoring.
@@ -153,16 +197,20 @@ int main(int argc, char** argv) {
   std::printf("censored instances prove slower than %.0f s each — the "
               "paper's own proof tail ran to ~12 minutes\n",
               per_solve_limit_s);
-  std::printf("\nsolver totals (%s): %zu B&B nodes, %zu LP iterations, "
-              "%zu reduced-cost fixings, %.2f s wall\n",
-              seed_solver ? "seed" : "warm", total_nodes, total_lp_iters,
-              total_rc_fixed, total_wall_s);
+  std::printf("\nsolver totals (%s, %s engine): %zu B&B nodes, %zu LP "
+              "iterations, %zu reduced-cost fixings, %.2f s wall\n",
+              seed_solver ? "seed" : "warm", engine_ran, total_nodes,
+              total_lp_iters, total_rc_fixed, total_wall_s);
+  std::printf("basis engine: %zu refactorizations, %zu eta updates, "
+              "eta-file peak %zu\n",
+              total_refacs, total_etas, eta_len_peak);
 
   // Machine-readable record so the solver's perf trajectory is tracked
   // across PRs (nodes / LP iterations / discover / prove / objectives).
   bench::Json j;
   j.set("bench", std::string("fig6_solver_cdf"));
   j.set("mode", std::string(seed_solver ? "seed" : "warm"));
+  j.set("engine", std::string(engine_ran));
   j.set("runs", runs);
   j.set("per_solve_limit_s", per_solve_limit_s);
   j.set("max_nodes_per_solve", max_nodes);
@@ -171,6 +219,9 @@ int main(int argc, char** argv) {
   j.set("total_nodes", total_nodes);
   j.set("total_lp_iterations", total_lp_iters);
   j.set("total_rc_fixings", total_rc_fixed);
+  j.set("total_basis_refactorizations", total_refacs);
+  j.set("total_eta_updates", total_etas);
+  j.set("eta_len_peak", eta_len_peak);
   j.set("total_wall_s", total_wall_s);
   j.set("discover_p50_s",
         discover.empty() ? -1.0 : util::percentile(discover, 50.0));
@@ -184,6 +235,9 @@ int main(int argc, char** argv) {
   j.set_array("proved", proved);
   j.set_array("nodes_per_point", point_nodes);
   j.set_array("lp_iterations_per_point", point_iters);
+  j.set_array("wall_s_per_point", point_wall);
+  j.set_array("refactorizations_per_point", point_refacs);
+  j.set_array("eta_updates_per_point", point_etas);
   j.write("BENCH_fig6.json");
   return 0;
 }

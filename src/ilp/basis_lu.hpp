@@ -1,0 +1,113 @@
+// Basis factorization engines for the revised simplex.
+//
+// `SimplexState` needs four operations on the basis matrix B (the m
+// columns of the working constraint matrix currently basic):
+//
+//   factorize   rebuild the factorization from the basis columns
+//   ftran       x = B^-1 a            (pivot directions, basic values)
+//   btran       y = B^-T c            (duals / pricing)
+//   update      absorb one pivot: column `leave_row` of B replaced by
+//               the entering column whose FTRAN image is `w`
+//
+// Two engines implement this contract:
+//
+//  - `DenseBasisEngine` maintains an explicit dense m x m inverse by
+//    Gauss-Jordan (the PR 1 solver). O(m^2) per pivot and per solve,
+//    O(m^3) per refactorization — exact reference implementation.
+//  - `LuBasisEngine` keeps a sparse LU factorization chosen by
+//    Markowitz pivoting (fill-minimizing merit, threshold stability)
+//    plus a product-form eta file: each pivot appends one sparse eta
+//    vector instead of touching m^2 entries, and the factorization is
+//    rebuilt only when the eta file hits `max_eta` or a pivot is too
+//    unstable to absorb (update() returns false and the caller
+//    refactorizes). Solves cost O(nnz(L)+nnz(U)+nnz(etas)).
+//
+// The engines are numerically interchangeable; the randomized
+// differential harness (tests/test_lp_differential.cpp) pits them
+// against each other on thousands of generated LPs/MIPs.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace wishbone::ilp {
+
+/// One working-form column: (constraint row, coefficient) pairs.
+using SparseColumn = std::vector<std::pair<int, double>>;
+
+enum class BasisEngineKind {
+  kAuto,   ///< resolve by row count: dense for small m, LU otherwise
+  kDense,  ///< explicit dense inverse (PR 1 reference path)
+  kLu,     ///< Markowitz sparse LU + eta-file updates
+};
+
+/// kAuto picks the dense engine strictly below this many rows; at this
+/// size and above the sparse LU's per-pivot advantage dominates the
+/// permutation/scatter overhead.
+inline constexpr int kAutoDenseCutoff = 48;
+
+[[nodiscard]] BasisEngineKind resolve_engine(BasisEngineKind kind, int m);
+
+[[nodiscard]] const char* engine_name(BasisEngineKind kind);
+
+struct BasisEngineStats {
+  std::size_t refactorizations = 0;  ///< full factorizations performed
+  std::size_t eta_updates = 0;       ///< pivots absorbed into the eta file
+  std::size_t eta_len = 0;           ///< current eta-file length
+  std::size_t eta_len_peak = 0;      ///< longest eta file ever held
+  std::size_t factor_nnz = 0;        ///< nnz(L)+nnz(U) of the last LU
+};
+
+struct BasisEngineOptions {
+  double pivot_eps = 1e-9;      ///< singularity threshold in factorize()
+  double markowitz_tau = 0.05;  ///< stability: |pivot| >= tau * row max
+  std::size_t max_eta = 64;     ///< refactorize when the eta file is full
+  double eta_drop = 1e-14;      ///< eta entries below this are dropped
+  double eta_stab = 1e-7;       ///< min |w_r| / max|w| for an eta update
+};
+
+class BasisEngine {
+ public:
+  virtual ~BasisEngine() = default;
+
+  [[nodiscard]] virtual BasisEngineKind kind() const = 0;
+
+  /// Resets to the factorization of the identity basis (all slacks).
+  virtual void set_identity() = 0;
+
+  /// Factorizes the basis whose i-th column is cols[basic[i]].
+  /// Returns false when the basis is numerically singular (the engine
+  /// is then unusable until the next successful factorize).
+  [[nodiscard]] virtual bool factorize(const std::vector<SparseColumn>& cols,
+                                       const std::vector<int>& basic) = 0;
+
+  /// out = B^-1 a for a sparse column `a`; out is assigned size m.
+  virtual void ftran(const SparseColumn& a, std::vector<double>& out) const = 0;
+
+  /// In-place x = B^-1 x for a dense right-hand side.
+  virtual void ftran_dense(std::vector<double>& x) const = 0;
+
+  /// In-place y = B^-T y (i.e. y^T = y_in^T B^-1): basic costs in,
+  /// duals out.
+  virtual void btran(std::vector<double>& y) const = 0;
+
+  /// Absorbs a pivot: basis column `leave_row` replaced by the column
+  /// whose FTRAN image is `w` (the simplex pivot direction). Returns
+  /// false when the engine declines — eta file full or the pivot too
+  /// unstable — in which case the caller must refactorize() instead.
+  [[nodiscard]] virtual bool update(int leave_row,
+                                    const std::vector<double>& w) = 0;
+
+  [[nodiscard]] const BasisEngineStats& stats() const { return stats_; }
+
+ protected:
+  BasisEngineStats stats_;
+};
+
+/// Creates an engine for an m-row basis; kAuto is resolved here.
+[[nodiscard]] std::unique_ptr<BasisEngine> make_basis_engine(
+    BasisEngineKind kind, int m, const BasisEngineOptions& opts = {});
+
+}  // namespace wishbone::ilp

@@ -81,7 +81,7 @@ MipResult BranchAndBound::solve(const LinearProgram& lp,
   // the basis the previous node left behind.
   SimplexState state(lp, opts.lp);
   if (opts.warm_basis && !opts.warm_basis->empty()) {
-    (void)state.load_basis(*opts.warm_basis);  // cold fallback inside
+    res.warm_basis_loaded = state.load_basis(*opts.warm_basis);
   }
 
   double incumbent_obj = kInf;
@@ -285,6 +285,10 @@ MipResult BranchAndBound::solve(const LinearProgram& lp,
 
   res.time_total = clock.elapsed_seconds();
   res.final_basis = state.extract_basis();
+  res.basis_engine = state.engine_kind();
+  res.basis_refactorizations = state.basis_stats().refactorizations;
+  res.eta_updates = state.basis_stats().eta_updates;
+  res.eta_len_peak = state.basis_stats().eta_len_peak;
   // The proven lower bound is the least bound among unexplored nodes;
   // with the tree exhausted it is the incumbent itself.
   const double open_bound = open_best_bound();

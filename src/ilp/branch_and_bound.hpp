@@ -91,6 +91,18 @@ struct MipResult {
   /// Variables pinned by reduced-cost fixing across the whole search.
   std::size_t vars_fixed_by_reduced_cost = 0;
 
+  /// Basis-engine telemetry of the shared simplex state: which engine
+  /// ran (kAuto resolved), how often the basis was refactorized, how
+  /// many pivots the eta file absorbed, and its peak length. Dense
+  /// engine: eta fields stay 0.
+  BasisEngineKind basis_engine = BasisEngineKind::kDense;
+  std::size_t basis_refactorizations = 0;
+  std::size_t eta_updates = 0;
+  std::size_t eta_len_peak = 0;
+  /// True when MipOptions::warm_basis was present, well-shaped, and
+  /// factorized cleanly (false = the solve fell back to a cold basis).
+  bool warm_basis_loaded = false;
+
   /// Absolute optimality gap at termination (0 when proved optimal).
   [[nodiscard]] double gap() const {
     return has_incumbent ? objective - best_bound : kInf;

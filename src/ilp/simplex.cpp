@@ -30,13 +30,34 @@ SimplexState::SimplexState(const LinearProgram& lp,
     const double sign = (c.rel == Relation::kGe) ? -1.0 : 1.0;
     b_[i] = sign * c.rhs;
     for (const auto& [v, coeff] : c.terms) {
-      if (coeff != 0.0) cols_[v].emplace_back(i, sign * coeff);
+      if (coeff == 0.0) continue;
+      // Coalesce duplicate variable mentions within a row: the model
+      // treats them additively (objective_value / max_violation), and
+      // the basis engines require at most one entry per (row, column).
+      // All pushes for row i happen in this pass, so a duplicate is
+      // always the column's current back entry.
+      auto& col = cols_[v];
+      if (!col.empty() && col.back().first == i) {
+        col.back().second += sign * coeff;
+      } else {
+        col.emplace_back(i, sign * coeff);
+      }
     }
     const int slack = n_struct_ + i;
     cols_[slack].emplace_back(i, 1.0);
     lo_[slack] = 0.0;
     up_[slack] = (c.rel == Relation::kEq) ? 0.0 : kInf;
   }
+
+  BasisEngineOptions bopts;
+  bopts.pivot_eps = opts_.pivot_eps;
+  bopts.max_eta =
+      opts_.refactor_interval != 0
+          ? opts_.refactor_interval
+          : std::max<std::size_t>(
+                64, std::min<std::size_t>(512,
+                                          static_cast<std::size_t>(m_) / 4));
+  engine_ = make_basis_engine(opts_.engine, m_, bopts);
 
   reset();
 }
@@ -71,8 +92,7 @@ void SimplexState::reset() {
     basic_[i] = n_struct_ + i;
     in_basis_[n_struct_ + i] = i;
   }
-  binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
-  for (int i = 0; i < m_; ++i) binv_at(i, i) = 1.0;
+  engine_->set_identity();  // the all-slack basis factorizes trivially
   candidates_.clear();
   recompute_basic_values();
   basics_dirty_ = false;
@@ -172,51 +192,7 @@ bool SimplexState::load_basis(const Basis& basis) {
 }
 
 bool SimplexState::refactorize() {
-  // binv_ = B^-1 by Gauss-Jordan with partial pivoting, where column i
-  // of B is the constraint column of basic_[i].
-  std::vector<double> B(static_cast<std::size_t>(m_) * m_, 0.0);
-  for (int i = 0; i < m_; ++i) {
-    for (const auto& [row, coeff] : cols_[basic_[i]]) {
-      B[static_cast<std::size_t>(row) * m_ + i] = coeff;
-    }
-  }
-  binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
-  for (int i = 0; i < m_; ++i) binv_at(i, i) = 1.0;
-  for (int col = 0; col < m_; ++col) {
-    int piv = -1;
-    double best = opts_.pivot_eps;
-    for (int r = col; r < m_; ++r) {
-      const double a = std::fabs(B[static_cast<std::size_t>(r) * m_ + col]);
-      if (a > best) {
-        best = a;
-        piv = r;
-      }
-    }
-    if (piv < 0) return false;  // singular basis
-    if (piv != col) {
-      for (int c = 0; c < m_; ++c) {
-        std::swap(B[static_cast<std::size_t>(piv) * m_ + c],
-                  B[static_cast<std::size_t>(col) * m_ + c]);
-        std::swap(binv_at(piv, c), binv_at(col, c));
-      }
-    }
-    const double d = B[static_cast<std::size_t>(col) * m_ + col];
-    for (int c = 0; c < m_; ++c) {
-      B[static_cast<std::size_t>(col) * m_ + c] /= d;
-      binv_at(col, c) /= d;
-    }
-    for (int r = 0; r < m_; ++r) {
-      if (r == col) continue;
-      const double f = B[static_cast<std::size_t>(r) * m_ + col];
-      if (f == 0.0) continue;
-      for (int c = 0; c < m_; ++c) {
-        B[static_cast<std::size_t>(r) * m_ + c] -=
-            f * B[static_cast<std::size_t>(col) * m_ + c];
-        binv_at(r, c) -= f * binv_at(col, c);
-      }
-    }
-  }
-  return true;
+  return engine_->factorize(cols_, basic_);
 }
 
 double SimplexState::phase1_cost(int var) const {
@@ -236,28 +212,24 @@ double SimplexState::total_infeasibility() const {
 }
 
 void SimplexState::recompute_basic_values() {
-  // xB = Binv * (b - sum over nonbasic j of A_j x_j)
+  // xB = B^-1 * (b - sum over nonbasic j of A_j x_j)
   std::vector<double> rhs = b_;
   const int n_total = n_struct_ + m_;
   for (int j = 0; j < n_total; ++j) {
     if (in_basis_[j] >= 0 || x_[j] == 0.0) continue;
     for (const auto& [row, coeff] : cols_[j]) rhs[row] -= coeff * x_[j];
   }
-  for (int i = 0; i < m_; ++i) {
-    double v = 0.0;
-    for (int k = 0; k < m_; ++k) v += binv_at(i, k) * rhs[k];
-    x_[basic_[i]] = v;
-  }
+  engine_->ftran_dense(rhs);
+  for (int i = 0; i < m_; ++i) x_[basic_[i]] = rhs[i];
 }
 
 void SimplexState::compute_duals(bool phase1, std::vector<double>& y) const {
-  // y = cB' * Binv for the phase's cost vector.
+  // y^T = cB^T * B^-1 for the phase's cost vector (a BTRAN).
   y.assign(m_, 0.0);
   for (int i = 0; i < m_; ++i) {
-    const double cb = phase1 ? phase1_cost(basic_[i]) : cost_[basic_[i]];
-    if (cb == 0.0) continue;
-    for (int k = 0; k < m_; ++k) y[k] += cb * binv_at(i, k);
+    y[i] = phase1 ? phase1_cost(basic_[i]) : cost_[basic_[i]];
   }
+  engine_->btran(y);
 }
 
 double SimplexState::reduced_cost_of(int j, bool phase1,
@@ -432,12 +404,9 @@ SimplexState::StepOutcome SimplexState::iterate(bool phase1) {
   }
   if (enter == -1) return StepOutcome::kNoDirection;
 
-  // Direction through the basis: w = Binv * A_enter.
+  // Direction through the basis: w = B^-1 * A_enter (an FTRAN).
   std::vector<double>& w = w_scratch_;
-  w.assign(m_, 0.0);
-  for (const auto& [row, coeff] : cols_[enter]) {
-    for (int i = 0; i < m_; ++i) w[i] += binv_at(i, row) * coeff;
-  }
+  engine_->ftran(cols_[enter], w);
 
   // Ratio test. The entering variable moves by t >= 0 in direction
   // enter_sigma; basic k changes at rate -enter_sigma * w[k].
@@ -519,15 +488,22 @@ SimplexState::StepOutcome SimplexState::iterate(bool phase1) {
   basic_[leave_row] = enter;
   in_basis_[enter] = leave_row;
 
-  // Binv update: eliminate the entering column from all other rows.
-  const double piv = w[leave_row];
-  WB_ASSERT_MSG(std::fabs(piv) > opts_.pivot_eps, "degenerate pivot");
-  for (int c = 0; c < m_; ++c) binv_at(leave_row, c) /= piv;
-  for (int k = 0; k < m_; ++k) {
-    if (k == leave_row || std::fabs(w[k]) < 1e-14) continue;
-    const double f = w[k];
-    for (int c = 0; c < m_; ++c) {
-      binv_at(k, c) -= f * binv_at(leave_row, c);
+  // Absorb the pivot into the basis engine (dense: elementary row
+  // update; LU: append an eta vector). The engine declines when its
+  // eta file is full or the pivot is too unstable to chain — then a
+  // fresh factorization of the *new* basis replaces the whole file.
+  WB_ASSERT_MSG(std::fabs(w[leave_row]) > opts_.pivot_eps,
+                "degenerate pivot");
+  if (!engine_->update(leave_row, w)) {
+    if (!refactorize()) {
+      // The ratio test admitted this pivot, so the new basis is
+      // singular only through accumulated floating-point damage. A
+      // failed factorization leaves the engine's factors half-built;
+      // reset() restores a coherent cold state so a caller that
+      // re-enters this SimplexState gets a valid (cold) solve instead
+      // of silent garbage, and this solve reports the failure.
+      reset();
+      return StepOutcome::kIterLimit;
     }
   }
 

@@ -1,4 +1,7 @@
-// Bounded-variable revised primal Simplex with a dense basis inverse.
+// Bounded-variable revised primal Simplex over a pluggable basis
+// engine (ilp/basis_lu.hpp): an explicit dense inverse for small
+// bases, or a Markowitz sparse LU with eta-file updates for large
+// ones.
 //
 // This is the LP engine underneath branch and bound, standing in for
 // lp_solve's Simplex (§4.2.1 footnote 3). Integrality markers on the
@@ -31,8 +34,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "ilp/basis_lu.hpp"
 #include "ilp/model.hpp"
 
 namespace wishbone::ilp {
@@ -59,6 +64,16 @@ struct SimplexOptions {
   /// columns kept between pivots. 0 disables the list, so every
   /// iteration prices all n+m columns (the pre-warm-start behavior).
   std::size_t candidate_list_size = 64;
+  /// Basis factorization engine. kAuto resolves by row count (dense
+  /// below kAutoDenseCutoff rows, Markowitz LU + eta file at or above);
+  /// kDense / kLu force one engine, which the randomized differential
+  /// harness uses to pit the two against each other.
+  BasisEngineKind engine = BasisEngineKind::kAuto;
+  /// LU engine: refactorize once the eta file holds this many pivots.
+  /// 0 = auto (max(64, min(512, m/4)) — longer files amortize the
+  /// factorization better on large sparse bases, where each eta is
+  /// cheap to apply but a factorization costs a full elimination).
+  std::size_t refactor_interval = 0;
 };
 
 /// A restorable snapshot of a simplex basis: the variable occupying
@@ -124,15 +139,17 @@ class SimplexState {
   /// branch and bound for reduced-cost variable fixing.
   [[nodiscard]] const std::vector<double>& reduced_costs() const;
 
+  /// The basis engine actually in use (kAuto resolved at construction).
+  [[nodiscard]] BasisEngineKind engine_kind() const {
+    return engine_->kind();
+  }
+  /// Refactorization / eta-file telemetry of the basis engine.
+  [[nodiscard]] const BasisEngineStats& basis_stats() const {
+    return engine_->stats();
+  }
+
  private:
   enum class StepOutcome { kPivoted, kNoDirection, kUnbounded, kIterLimit };
-
-  double& binv_at(int r, int c) {
-    return binv_[static_cast<std::size_t>(r) * m_ + c];
-  }
-  [[nodiscard]] double binv_at(int r, int c) const {
-    return binv_[static_cast<std::size_t>(r) * m_ + c];
-  }
 
   [[nodiscard]] double phase1_cost(int var) const;
   [[nodiscard]] double total_infeasibility() const;
@@ -158,7 +175,7 @@ class SimplexState {
   std::vector<int> in_basis_;
   std::vector<bool> at_upper_;
   std::vector<double> x_;
-  std::vector<double> binv_;
+  std::unique_ptr<BasisEngine> engine_;
 
   std::vector<int> candidates_;          ///< partial-pricing list
   mutable std::vector<double> reduced_costs_;  ///< lazy, per basis

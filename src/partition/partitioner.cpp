@@ -63,7 +63,9 @@ PartitionResult solve_partition(const PartitionProblem& p_in,
   res.solver = bnb.solve(model, mip);
   // Callers chaining related solves (rate search, repeated sweeps) pick
   // the final basis up from res.solver.final_basis and thread it into
-  // the next solve's opts.mip.warm_basis.
+  // the next solve's opts.mip.warm_basis; under the LU engine the load
+  // costs one sparse refactorization instead of an O(m^3) Gauss-Jordan,
+  // and res.solver.warm_basis_loaded reports whether the inherit took.
   if (!res.solver.has_incumbent) {
     res.feasible = false;
     return res;

@@ -13,7 +13,8 @@ RateSearchResult max_sustainable_rate(
 
   // Successive probes solve structurally identical ILPs (same graph,
   // rescaled coefficients), so each solve inherits the previous probe's
-  // final simplex basis; a shape mismatch (preprocessing merged
+  // final simplex basis; loading costs one refactorization under the
+  // configured basis engine, and a shape mismatch (preprocessing merged
   // differently at this rate) just falls back to a cold start.
   ilp::Basis carried_basis;
   auto attempt = [&](double rate) {
@@ -26,6 +27,11 @@ RateSearchResult max_sustainable_rate(
     if (!r.solver.final_basis.empty()) {
       carried_basis = r.solver.final_basis;
     }
+    res.total_bnb_nodes += r.solver.nodes_explored;
+    res.total_lp_iterations += r.solver.lp_iterations;
+    res.total_basis_refactorizations += r.solver.basis_refactorizations;
+    res.total_eta_updates += r.solver.eta_updates;
+    if (r.solver.warm_basis_loaded) ++res.probes_with_inherited_basis;
     return r;
   };
 

@@ -25,6 +25,17 @@ struct RateSearchResult {
   double max_rate = 0.0;            ///< highest rate proven feasible
   PartitionResult partition_at_max; ///< the cut found at that rate
   std::size_t partitions_solved = 0;
+
+  // Solver totals across *all* probes (partition_at_max only carries
+  // the winning probe's): how much LP work the whole search cost and
+  // how the basis engine amortized it over the threaded bases.
+  std::size_t total_bnb_nodes = 0;
+  std::size_t total_lp_iterations = 0;
+  std::size_t total_basis_refactorizations = 0;
+  std::size_t total_eta_updates = 0;
+  /// Probes whose inherited basis actually factorized and was used
+  /// (shape mismatches and singular inherits fall back cold).
+  std::size_t probes_with_inherited_basis = 0;
 };
 
 /// `problem_at(rate)` must build the partition problem for a given

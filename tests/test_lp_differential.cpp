@@ -1,0 +1,527 @@
+// Randomized differential testing of the two basis engines: the dense
+// Gauss-Jordan inverse (PR 1 reference) and the Markowitz LU + eta-file
+// engine must agree on status, objective, solution feasibility, and
+// bound-proof outcomes on thousands of generated LPs and MIPs — the
+// solver core's correctness oracle.
+//
+// Trial count: WISHBONE_DIFF_TRIALS sets the per-family instance count
+// (default 400, which CI runs: 5 LP families x 400 = 2000 instances
+// plus the MIP / warm-chain / medium-LP families on top). Crank it up
+// locally, e.g.
+//
+//   WISHBONE_DIFF_TRIALS=5000 ./build/wishbone_tests \
+//       --gtest_filter='LpDifferential*'
+//
+// Generators draw coefficients from a dyadic grid (multiples of 1/64)
+// so feasibility/optimality margins are either exactly zero or far
+// above the solver tolerances — instances stay off the tolerance
+// knife-edge where the two engines could legitimately disagree, while
+// exact ties (the degenerate family exists to produce them) remain.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <random>
+#include <string>
+
+#include "ilp/basis_lu.hpp"
+#include "ilp/branch_and_bound.hpp"
+#include "ilp/simplex.hpp"
+
+using namespace wishbone::ilp;
+
+namespace {
+
+int diff_trials() {
+  static const int trials = [] {
+    if (const char* e = std::getenv("WISHBONE_DIFF_TRIALS")) {
+      const int v = std::atoi(e);
+      if (v > 0) return v;
+    }
+    return 400;  // CI default: 5 LP families x 400 = 2000 instances
+  }();
+  return trials;
+}
+
+/// Random value on the dyadic grid (multiples of 1/64).
+double grid(std::mt19937& rng, double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return std::round(d(rng) * 64.0) / 64.0;
+}
+
+/// Grid value bounded away from zero (avoids near-singular columns).
+double grid_nz(std::mt19937& rng, double lo, double hi) {
+  for (;;) {
+    const double v = grid(rng, lo, hi);
+    if (std::fabs(v) >= 0.125) return v;
+  }
+}
+
+// ------------------------------------------------------- LP generators
+
+LinearProgram gen_dense_lp(std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  const int n = 2 + static_cast<int>(rng() % 9);
+  const int m = 1 + static_cast<int>(rng() % 8);
+  LinearProgram lp;
+  for (int j = 0; j < n; ++j) {
+    lp.add_variable("x" + std::to_string(j), 0.0, grid(rng, 0.5, 3.0),
+                    grid(rng, -2.0, 2.0), false);
+  }
+  for (int r = 0; r < m; ++r) {
+    Constraint c;
+    for (int j = 0; j < n; ++j) c.terms.emplace_back(j, grid_nz(rng, -2, 2));
+    const unsigned k = rng() % 8;
+    c.rel = k < 5 ? Relation::kLe : (k < 7 ? Relation::kGe : Relation::kEq);
+    if (c.rel == Relation::kEq) {
+      // Anchor the rhs at a random box point so equality rows are
+      // individually attainable (jointly they may still conflict).
+      double rhs = 0.0;
+      for (const auto& [j, coeff] : c.terms) {
+        rhs += coeff * grid(rng, 0.0, lp.upper(j));
+      }
+      c.rhs = std::round(rhs * 64.0) / 64.0;
+    } else {
+      c.rhs = grid(rng, -1.0, 0.4 * n);
+    }
+    lp.add_constraint(std::move(c));
+  }
+  return lp;
+}
+
+LinearProgram gen_sparse_lp(std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  const int n = 8 + static_cast<int>(rng() % 33);
+  const int m = 4 + static_cast<int>(rng() % 27);
+  LinearProgram lp;
+  for (int j = 0; j < n; ++j) {
+    lp.add_variable("x" + std::to_string(j), 0.0, grid(rng, 0.5, 2.0),
+                    grid(rng, -2.0, 2.0), false);
+  }
+  for (int r = 0; r < m; ++r) {
+    Constraint c;
+    const int nnz = 2 + static_cast<int>(rng() % 3);
+    for (int t = 0; t < nnz; ++t) {
+      const int j = static_cast<int>(rng() % n);
+      c.terms.emplace_back(j, grid_nz(rng, -1.5, 1.5));
+    }
+    c.rel = (rng() % 4 == 0) ? Relation::kGe : Relation::kLe;
+    c.rhs = grid(rng, -0.5, 2.0);
+    lp.add_constraint(std::move(c));
+  }
+  return lp;
+}
+
+LinearProgram gen_degenerate_lp(std::uint32_t seed) {
+  // Exact ties everywhere: duplicated rows, shared rhs values, equal
+  // objective coefficients, zero rhs rows — the degenerate-pivot and
+  // Bland's-rule paths of both engines.
+  std::mt19937 rng(seed);
+  const int n = 4 + static_cast<int>(rng() % 9);
+  LinearProgram lp;
+  const double shared_cost = grid(rng, -1.0, 1.0);
+  for (int j = 0; j < n; ++j) {
+    lp.add_variable("x" + std::to_string(j), 0.0, 1.0,
+                    (rng() % 2) ? shared_cost : grid(rng, -1.0, 1.0),
+                    false);
+  }
+  std::vector<Constraint> rows;
+  const int base_rows = 2 + static_cast<int>(rng() % 3);
+  for (int r = 0; r < base_rows; ++r) {
+    Constraint c;
+    for (int j = 0; j < n; ++j) {
+      if (rng() % 2) c.terms.emplace_back(j, (rng() % 2) ? 1.0 : 0.5);
+    }
+    if (c.terms.empty()) c.terms.emplace_back(0, 1.0);
+    c.rel = Relation::kLe;
+    c.rhs = (rng() % 3 == 0) ? 0.0 : 0.25 * static_cast<double>(rng() % 8);
+    rows.push_back(c);
+  }
+  // Duplicate a subset verbatim (redundant rows = degenerate bases).
+  const std::size_t orig = rows.size();
+  for (std::size_t r = 0; r < orig; ++r) {
+    if (rng() % 2) rows.push_back(rows[r]);
+  }
+  for (auto& c : rows) lp.add_constraint(std::move(c));
+  return lp;
+}
+
+LinearProgram gen_bounded_lp(std::uint32_t seed) {
+  // Bound-structure zoo: free variables, one-sided bounds, fixed
+  // variables, negative ranges — the bound-flip ratio-test paths.
+  std::mt19937 rng(seed);
+  const int n = 3 + static_cast<int>(rng() % 10);
+  const int m = 2 + static_cast<int>(rng() % 6);
+  LinearProgram lp;
+  for (int j = 0; j < n; ++j) {
+    double lo = 0.0, up = 1.0;
+    switch (rng() % 6) {
+      case 0: lo = -kInf; up = kInf; break;              // free
+      case 1: lo = -kInf; up = grid(rng, -1.0, 2.0); break;
+      case 2: lo = grid(rng, -2.0, 1.0); up = kInf; break;
+      case 3: lo = up = grid(rng, -1.0, 1.0); break;     // fixed
+      case 4: lo = grid(rng, -3.0, -1.0); up = grid(rng, -1.0, 1.0) + 2.0;
+              break;
+      default: lo = 0.0; up = grid(rng, 0.5, 2.0); break;
+    }
+    lp.add_variable("x" + std::to_string(j), lo, up, grid(rng, -1.5, 1.5),
+                    false);
+  }
+  for (int r = 0; r < m; ++r) {
+    Constraint c;
+    const int nnz = 2 + static_cast<int>(rng() % 3);
+    for (int t = 0; t < nnz; ++t) {
+      c.terms.emplace_back(static_cast<int>(rng() % n),
+                           grid_nz(rng, -1.5, 1.5));
+    }
+    const unsigned k = rng() % 6;
+    c.rel = k < 4 ? Relation::kLe : (k < 5 ? Relation::kGe : Relation::kEq);
+    c.rhs = grid(rng, -1.0, 3.0);
+    lp.add_constraint(std::move(c));
+  }
+  return lp;
+}
+
+/// Partition-formulation-shaped instance: 0/1 indicators, knapsack
+/// capacity rows, monotone f_u >= f_v edge rows. `integral` keeps the
+/// integrality markers (MIP family) or relaxes them (LP family).
+LinearProgram gen_partition_shaped(std::uint32_t seed, bool integral,
+                                   int n_override = 0) {
+  std::mt19937 rng(seed);
+  const int n =
+      n_override > 0 ? n_override : 8 + static_cast<int>(rng() % 13);
+  LinearProgram lp;
+  for (int j = 0; j < n; ++j) {
+    if (integral) {
+      lp.add_binary("f" + std::to_string(j), grid(rng, -3.0, 3.0));
+    } else {
+      lp.add_variable("f" + std::to_string(j), 0.0, 1.0,
+                      grid(rng, -3.0, 3.0), false);
+    }
+  }
+  for (int r = 0; r < 3; ++r) {
+    Constraint c;
+    for (int j = 0; j < n; ++j) {
+      c.terms.emplace_back(j, grid(rng, 0.05, 1.0) + 0.05);
+    }
+    c.rel = Relation::kLe;
+    c.rhs = 0.35 * n;
+    lp.add_constraint(std::move(c));
+  }
+  for (int e = 0; e < n; ++e) {
+    const int u = static_cast<int>(rng() % n);
+    const int v = static_cast<int>(rng() % n);
+    if (u == v) continue;
+    Constraint c;
+    c.terms = {{u, 1.0}, {v, -1.0}};
+    c.rel = Relation::kGe;
+    c.rhs = 0.0;
+    lp.add_constraint(std::move(c));
+  }
+  return lp;
+}
+
+// ------------------------------------------------------- the oracle
+
+SimplexOptions engine_opts(BasisEngineKind kind) {
+  SimplexOptions o;
+  o.engine = kind;
+  // A short eta file forces the LU engine through its full
+  // refactorization cycle on nearly every nontrivial instance, so the
+  // harness exercises factorize/eta/refactorize, not just one of them.
+  o.refactor_interval = 16;
+  return o;
+}
+
+std::string describe(const LpSolution& s) {
+  return "status=" + std::to_string(static_cast<int>(s.status)) +
+         " obj=" + std::to_string(s.objective) +
+         " iters=" + std::to_string(s.iterations);
+}
+
+/// Solves `lp` with both engines and asserts full agreement.
+void expect_engines_agree(const LinearProgram& lp, const std::string& label) {
+  const LpSolution dense =
+      SimplexSolver().solve(lp, engine_opts(BasisEngineKind::kDense));
+  const LpSolution lu =
+      SimplexSolver().solve(lp, engine_opts(BasisEngineKind::kLu));
+  ASSERT_EQ(dense.status, lu.status)
+      << label << "\ndense: " << describe(dense) << "\nlu: " << describe(lu)
+      << "\n" << lp.to_text();
+  if (dense.status != SolveStatus::kOptimal) return;
+  const double tol = 1e-6 * std::max(1.0, std::fabs(dense.objective));
+  EXPECT_NEAR(dense.objective, lu.objective, tol) << label;
+  EXPECT_LE(lp.max_violation(lu.x), 1e-5)
+      << label << ": LU engine returned an infeasible point";
+  EXPECT_LE(lp.max_violation(dense.x), 1e-5)
+      << label << ": dense engine returned an infeasible point";
+}
+
+void run_lp_family(const char* name,
+                   LinearProgram (*gen)(std::uint32_t)) {
+  const int trials = diff_trials();
+  for (int t = 0; t < trials; ++t) {
+    const std::uint32_t seed = 1000u + static_cast<std::uint32_t>(t);
+    expect_engines_agree(gen(seed),
+                         std::string(name) + " seed=" + std::to_string(seed));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+
+// --------------------------------------------------------- LP families
+
+TEST(LpDifferential, DenseRandomLps) {
+  run_lp_family("dense_lp", gen_dense_lp);
+}
+
+TEST(LpDifferential, SparseRandomLps) {
+  run_lp_family("sparse_lp", gen_sparse_lp);
+}
+
+TEST(LpDifferential, DegenerateLps) {
+  run_lp_family("degenerate_lp", gen_degenerate_lp);
+}
+
+TEST(LpDifferential, BoundedVariableLps) {
+  run_lp_family("bounded_lp", gen_bounded_lp);
+}
+
+TEST(LpDifferential, PartitionShapedLps) {
+  run_lp_family("partition_lp", [](std::uint32_t seed) {
+    return gen_partition_shaped(seed, /*integral=*/false);
+  });
+}
+
+// ------------------------------------------------- MIPs through B&B
+
+TEST(LpDifferential, PartitionMipsAgreeOnProofs) {
+  // Status, incumbent objective, AND the proven bound must match: a
+  // basis-engine bug that corrupts duals shows up first in bound
+  // proofs (wrongly pruned subtrees), not in incumbents.
+  const int trials = std::max(diff_trials() / 2, 25);
+  for (int t = 0; t < trials; ++t) {
+    const std::uint32_t seed = 9000u + static_cast<std::uint32_t>(t);
+    const LinearProgram lp = gen_partition_shaped(seed, /*integral=*/true);
+
+    MipOptions dense_opts, lu_opts;
+    dense_opts.lp = engine_opts(BasisEngineKind::kDense);
+    lu_opts.lp = engine_opts(BasisEngineKind::kLu);
+    const MipResult rd = BranchAndBound().solve(lp, dense_opts);
+    const MipResult rl = BranchAndBound().solve(lp, lu_opts);
+
+    ASSERT_EQ(rd.status, rl.status) << "seed=" << seed;
+    ASSERT_EQ(rd.has_incumbent, rl.has_incumbent) << "seed=" << seed;
+    if (!rd.has_incumbent) continue;
+    const double tol = 1e-6 * std::max(1.0, std::fabs(rd.objective));
+    EXPECT_NEAR(rd.objective, rl.objective, tol) << "seed=" << seed;
+    if (rd.status == SolveStatus::kOptimal) {
+      EXPECT_NEAR(rd.best_bound, rl.best_bound, tol) << "seed=" << seed;
+    }
+    EXPECT_LE(lp.max_violation(rl.x), 1e-5) << "seed=" << seed;
+  }
+}
+
+// ------------------------- warm-start re-entry chains (B&B bound edits)
+
+TEST(LpDifferential, WarmReentryChainsAgree) {
+  // Mimics branch and bound's bound-edit pattern: one persistent state
+  // per engine, a chain of random fixings, solve after each edit. The
+  // dense state doubles as the oracle for the LU state, and a fresh
+  // cold solve cross-checks both (catching drift that a consistent
+  // pair of warm states could otherwise share).
+  const int chains = std::max(diff_trials() / 4, 25);
+  std::mt19937 rng(0xC0FFEE);
+  for (int t = 0; t < chains; ++t) {
+    const std::uint32_t seed = 20000u + static_cast<std::uint32_t>(t);
+    const LinearProgram base = gen_partition_shaped(seed, false);
+    LinearProgram edited = base;
+    SimplexState dense(base, engine_opts(BasisEngineKind::kDense));
+    SimplexState lu(base, engine_opts(BasisEngineKind::kLu));
+    const int n = base.num_variables();
+    for (int step = 0; step < 5; ++step) {
+      const int v = static_cast<int>(rng() % static_cast<unsigned>(n));
+      const double b = (rng() % 2) ? 1.0 : 0.0;
+      dense.set_bounds(v, b, b);
+      lu.set_bounds(v, b, b);
+      edited.set_bounds(v, b, b);
+
+      const LpSolution rd = dense.solve();
+      const LpSolution rl = lu.solve();
+      ASSERT_EQ(rd.status, rl.status)
+          << "seed=" << seed << " step=" << step << "\ndense: "
+          << describe(rd) << "\nlu: " << describe(rl);
+      const LpSolution fresh =
+          SimplexSolver().solve(edited, engine_opts(BasisEngineKind::kDense));
+      ASSERT_EQ(fresh.status, rd.status) << "seed=" << seed
+                                         << " step=" << step;
+      if (rd.status != SolveStatus::kOptimal) break;
+      const double tol = 1e-6 * std::max(1.0, std::fabs(rd.objective));
+      EXPECT_NEAR(rd.objective, rl.objective, tol)
+          << "seed=" << seed << " step=" << step;
+      EXPECT_NEAR(fresh.objective, rl.objective, tol)
+          << "seed=" << seed << " step=" << step;
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ----------------------------- medium instances (real eta/refactor use)
+
+TEST(LpDifferential, MediumSparseLpsExerciseRefactorization) {
+  // Large enough that kAuto itself would pick LU and the eta file
+  // cycles through several refactorizations per solve.
+  const int trials = std::max(diff_trials() / 20, 5);
+  for (int t = 0; t < trials; ++t) {
+    const std::uint32_t seed = 31000u + static_cast<std::uint32_t>(t);
+    const LinearProgram lp =
+        gen_partition_shaped(seed, /*integral=*/false, /*n=*/120);
+
+    SimplexState dense(lp, engine_opts(BasisEngineKind::kDense));
+    SimplexState lu(lp, engine_opts(BasisEngineKind::kLu));
+    const LpSolution rd = dense.solve();
+    const LpSolution rl = lu.solve();
+    ASSERT_EQ(rd.status, rl.status) << "seed=" << seed;
+    if (rd.status == SolveStatus::kOptimal) {
+      const double tol = 1e-6 * std::max(1.0, std::fabs(rd.objective));
+      EXPECT_NEAR(rd.objective, rl.objective, tol) << "seed=" << seed;
+    }
+    if (rl.iterations > 3 * 16) {
+      // More pivots than the eta file holds: the solve must have gone
+      // through the drift-containment refactorization path.
+      EXPECT_GE(lu.basis_stats().refactorizations, 1u) << "seed=" << seed;
+    }
+    EXPECT_EQ(lu.engine_kind(), BasisEngineKind::kLu);
+    EXPECT_EQ(dense.engine_kind(), BasisEngineKind::kDense);
+  }
+}
+
+// ------------------------------------- basis snapshots across engines
+
+TEST(LpDifferential, BasisSnapshotsPortAcrossEngines) {
+  // A Basis is engine-independent: extract from a dense state, load
+  // into an LU state (and back) — both must refactorize it and land on
+  // the same optimum immediately.
+  for (std::uint32_t seed = 41000; seed < 41020; ++seed) {
+    const LinearProgram lp = gen_partition_shaped(seed, false);
+    SimplexState dense(lp, engine_opts(BasisEngineKind::kDense));
+    const LpSolution rd = dense.solve();
+    ASSERT_EQ(rd.status, SolveStatus::kOptimal);
+
+    SimplexState lu(lp, engine_opts(BasisEngineKind::kLu));
+    ASSERT_TRUE(lu.load_basis(dense.extract_basis())) << "seed=" << seed;
+    const LpSolution rl = lu.solve();
+    ASSERT_EQ(rl.status, SolveStatus::kOptimal) << "seed=" << seed;
+    EXPECT_NEAR(rl.objective, rd.objective, 1e-9) << "seed=" << seed;
+    EXPECT_LE(rl.iterations, 2u) << "seed=" << seed;
+
+    SimplexState dense2(lp, engine_opts(BasisEngineKind::kDense));
+    ASSERT_TRUE(dense2.load_basis(lu.extract_basis())) << "seed=" << seed;
+    const LpSolution rd2 = dense2.solve();
+    ASSERT_EQ(rd2.status, SolveStatus::kOptimal) << "seed=" << seed;
+    EXPECT_NEAR(rd2.objective, rd.objective, 1e-9) << "seed=" << seed;
+  }
+}
+
+// ----------------------------------------- engine unit: drift triggers
+
+TEST(BasisEngineUnit, LuUpdateDeclinesUnstablePivot) {
+  // |w_r| tiny relative to max|w|: absorbing this pivot as an eta
+  // would amplify error through every later solve — the engine must
+  // decline and force a refactorization.
+  const BasisEngineOptions opts;
+  auto eng = make_basis_engine(BasisEngineKind::kLu, 3, opts);
+  std::vector<SparseColumn> cols = {
+      {{0, 1.0}}, {{1, 1.0}}, {{2, 1.0}}};
+  ASSERT_TRUE(eng->factorize(cols, {0, 1, 2}));
+  const std::vector<double> w = {1.0, 1e-12, 0.5};
+  EXPECT_FALSE(eng->update(1, w));           // unstable leave row
+  EXPECT_TRUE(eng->update(0, w));            // stable pivot absorbs fine
+  EXPECT_EQ(eng->stats().eta_updates, 1u);
+  EXPECT_EQ(eng->stats().eta_len, 1u);
+}
+
+TEST(BasisEngineUnit, LuUpdateDeclinesWhenEtaFileFull) {
+  BasisEngineOptions opts;
+  opts.max_eta = 2;
+  auto eng = make_basis_engine(BasisEngineKind::kLu, 2, opts);
+  std::vector<SparseColumn> cols = {{{0, 1.0}}, {{1, 1.0}}};
+  ASSERT_TRUE(eng->factorize(cols, {0, 1}));
+  const std::vector<double> w = {1.0, 0.25};
+  EXPECT_TRUE(eng->update(0, w));
+  EXPECT_TRUE(eng->update(1, w));
+  EXPECT_FALSE(eng->update(0, w));  // file full: caller must refactorize
+  ASSERT_TRUE(eng->factorize(cols, {0, 1}));
+  EXPECT_EQ(eng->stats().eta_len, 0u) << "refactorization clears the file";
+  EXPECT_TRUE(eng->update(0, w));
+}
+
+TEST(BasisEngineUnit, FactorizeRejectsSingularBasis) {
+  for (BasisEngineKind kind :
+       {BasisEngineKind::kDense, BasisEngineKind::kLu}) {
+    auto eng = make_basis_engine(kind, 2, {});
+    // Columns 0 and 1 are linearly dependent.
+    std::vector<SparseColumn> cols = {{{0, 1.0}, {1, 2.0}},
+                                      {{0, 2.0}, {1, 4.0}},
+                                      {{0, 1.0}}};
+    EXPECT_FALSE(eng->factorize(cols, {0, 1})) << engine_name(kind);
+    EXPECT_TRUE(eng->factorize(cols, {0, 2})) << engine_name(kind);
+  }
+}
+
+TEST(BasisEngineUnit, AutoResolvesByRowCount) {
+  EXPECT_EQ(resolve_engine(BasisEngineKind::kAuto, kAutoDenseCutoff - 1),
+            BasisEngineKind::kDense);
+  EXPECT_EQ(resolve_engine(BasisEngineKind::kAuto, kAutoDenseCutoff),
+            BasisEngineKind::kLu);
+  EXPECT_EQ(resolve_engine(BasisEngineKind::kDense, 10000),
+            BasisEngineKind::kDense);
+  EXPECT_EQ(resolve_engine(BasisEngineKind::kLu, 1),
+            BasisEngineKind::kLu);
+}
+
+TEST(BasisEngineUnit, FtranBtranMatchDenseOnRandomBases) {
+  // Same factorized basis, same right-hand sides: the two engines'
+  // FTRAN/BTRAN must agree to near machine precision.
+  std::mt19937 rng(99);
+  for (int t = 0; t < 50; ++t) {
+    const int m = 2 + static_cast<int>(rng() % 12);
+    std::vector<SparseColumn> cols(m);
+    for (int j = 0; j < m; ++j) {
+      for (int i = 0; i < m; ++i) {
+        if (i != j && rng() % 3 == 0) {
+          cols[j].emplace_back(i, grid_nz(rng, -1, 1));
+        }
+      }
+      cols[j].emplace_back(j, 8.0 + grid(rng, 0.0, 1.0));  // diag dominant
+    }
+    std::vector<int> basic(m);
+    for (int i = 0; i < m; ++i) basic[i] = i;
+
+    auto dense = make_basis_engine(BasisEngineKind::kDense, m, {});
+    auto lu = make_basis_engine(BasisEngineKind::kLu, m, {});
+    ASSERT_TRUE(dense->factorize(cols, basic));
+    ASSERT_TRUE(lu->factorize(cols, basic));
+
+    SparseColumn a;
+    for (int i = 0; i < m; ++i) {
+      if (rng() % 2) a.emplace_back(i, grid_nz(rng, -2, 2));
+    }
+    std::vector<double> fd, fl;
+    dense->ftran(a, fd);
+    lu->ftran(a, fl);
+    for (int i = 0; i < m; ++i) {
+      EXPECT_NEAR(fd[i], fl[i], 1e-8) << "t=" << t << " i=" << i;
+    }
+
+    std::vector<double> yd(m), yl;
+    for (int i = 0; i < m; ++i) yd[i] = grid(rng, -1, 1);
+    yl = yd;
+    dense->btran(yd);
+    lu->btran(yl);
+    for (int i = 0; i < m; ++i) {
+      EXPECT_NEAR(yd[i], yl[i], 1e-8) << "t=" << t << " i=" << i;
+    }
+  }
+}

@@ -226,6 +226,81 @@ TEST(WarmStart, BasisRoundTripReproducesOptimum) {
   EXPECT_LE(sb.iterations, 2u);
 }
 
+// ---- refactorize() failure paths: singular loads and drift triggers.
+
+class LoadFailure : public ::testing::TestWithParam<BasisEngineKind> {};
+
+TEST_P(LoadFailure, SingularLoadedBasisFallsBackCold) {
+  // x0 and x1 have linearly dependent constraint columns, so a basis
+  // made of exactly {x0, x1} is singular: load_basis must reject it in
+  // refactorize() (not in the shape checks) and recover to a working
+  // cold state, under either engine.
+  LinearProgram lp;
+  (void)lp.add_variable("x0", 0.0, 1.0, -1.0, false);
+  (void)lp.add_variable("x1", 0.0, 1.0, -0.5, false);
+  lp.add_constraint(make({{0, 1.0}, {1, 2.0}}, Relation::kLe, 1.0));
+  lp.add_constraint(make({{0, 2.0}, {1, 4.0}}, Relation::kLe, 2.0));
+
+  SimplexOptions opts;
+  opts.engine = GetParam();
+  SimplexState state(lp, opts);
+
+  Basis singular;
+  singular.basic = {0, 1};                   // both structural columns
+  singular.at_upper.assign(4, 0);
+  EXPECT_FALSE(state.load_basis(singular));
+
+  // The fallback state must still solve to the true optimum.
+  const LpSolution sol = state.solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -1.0, 1e-9);  // all of the row goes to x0
+}
+
+TEST_P(LoadFailure, ValidLoadedBasisSurvives) {
+  // Control: a nonsingular one-structural basis loads fine and the
+  // re-entry solve terminates at the same optimum.
+  const LinearProgram lp = random_partition_mip(13, 8);
+  SimplexOptions opts;
+  opts.engine = GetParam();
+  SimplexState a(lp, opts);
+  const LpSolution sa = a.solve();
+  ASSERT_EQ(sa.status, SolveStatus::kOptimal);
+  SimplexState b(lp, opts);
+  ASSERT_TRUE(b.load_basis(a.extract_basis()));
+  const LpSolution sb = b.solve();
+  ASSERT_EQ(sb.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sb.objective, sa.objective, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, LoadFailure,
+                         ::testing::Values(BasisEngineKind::kDense,
+                                           BasisEngineKind::kLu),
+                         [](const auto& info) {
+                           return std::string(engine_name(info.param));
+                         });
+
+TEST(WarmStart, EtaFileOverflowTriggersRefactorization) {
+  // A 2-pivot eta budget on an instance needing many pivots: the LU
+  // engine must cycle through refactorizations mid-solve and still
+  // match the dense reference objective.
+  const LinearProgram lp = random_partition_mip(21, 16);
+  SimplexOptions lu;
+  lu.engine = BasisEngineKind::kLu;
+  lu.refactor_interval = 2;
+  SimplexState state(lp, lu);
+  const LpSolution sol = state.solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  ASSERT_GT(sol.iterations, 2u);
+  EXPECT_GE(state.basis_stats().refactorizations, 1u);
+  EXPECT_LE(state.basis_stats().eta_len_peak, 2u);
+
+  SimplexOptions dense;
+  dense.engine = BasisEngineKind::kDense;
+  const LpSolution ref = SimplexSolver().solve(lp, dense);
+  ASSERT_EQ(ref.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, ref.objective, 1e-6);
+}
+
 TEST(WarmStart, LoadBasisRejectsShapeMismatch) {
   const LinearProgram small = random_partition_mip(3, 6);
   const LinearProgram big = random_partition_mip(3, 12);
