@@ -3,6 +3,7 @@
 
 Usage:
     check_fig6_regression.py REFERENCE.json FRESH.json [--max-iter-regression R]
+                             [--wall-trend SNAP [SNAP ...]]
 
 Compares the LP-iteration totals of the two runs over the sweep points
 that were *fully proved in both* (optimality shown or infeasibility
@@ -15,6 +16,11 @@ changes answers is a bug, not an optimization.
 
 Exits nonzero when the fresh run needs more than (1 + R) times the
 reference iterations on the mutually proved points (default R = 0.10).
+
+--wall-trend prints a report-only wall-clock table across historical
+snapshots (e.g. the PR 1 / PR 2 / PR 3 references) plus the fresh run:
+wall time depends on the host, so the trend never fails the check —
+the hard gate stays on LP iterations.
 """
 
 import argparse
@@ -27,6 +33,36 @@ def load(path):
         return json.load(f)
 
 
+def print_wall_trend(paths):
+    """Report-only wall-clock trend across snapshots (oldest first).
+
+    Total wall is dominated by censored points (they spend whatever the
+    cap allows), so the table also sums wall over the points proved in
+    *every* listed run — the apples-to-apples subset. Wall times are
+    host-dependent: this never exits nonzero.
+    """
+    runs = [(p, load(p)) for p in paths]
+    common = None
+    for _, d in runs:
+        proved = {i for i, v in enumerate(d.get("proved", [])) if v == 1}
+        common = proved if common is None else (common & proved)
+    common = sorted(common or [])
+    print("wall-clock trend (report-only; host-dependent):")
+    print(f"  commonly proved points: {common}")
+    print(f"  {'snapshot':44s} {'engine':6s} {'thr':>3s} "
+          f"{'total wall s':>12s} {'proved-pts wall s':>17s}")
+    for p, d in runs:
+        wall = d.get("wall_s_per_point", [])
+        proved_wall = (sum(wall[i] for i in common)
+                       if all(i < len(wall) for i in common) else
+                       float("nan"))
+        print(f"  {p[-44:]:44s} {str(d.get('engine', '?')):6s} "
+              f"{str(d.get('threads', 1)):>3s} "
+              f"{d.get('total_wall_s', float('nan')):12.2f} "
+              f"{proved_wall:17.3f}")
+    print()
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("reference")
@@ -36,10 +72,17 @@ def main():
     ap.add_argument("--require-protocol-match", action="store_true",
                     help="fail (instead of warn) when the time cap or node "
                          "budget differs from the reference")
+    ap.add_argument("--wall-trend", nargs="+", metavar="SNAP", default=[],
+                    help="extra snapshots for a report-only wall-clock "
+                         "trend table (oldest first); the fresh run is "
+                         "appended automatically")
     args = ap.parse_args()
 
     ref = load(args.reference)
     new = load(args.fresh)
+
+    if args.wall_trend:
+        print_wall_trend(args.wall_trend + [args.fresh])
 
     if ref.get("runs") != new.get("runs"):
         sys.exit(f"sweep sizes differ: reference runs={ref.get('runs')} "

@@ -11,13 +11,20 @@
 // The sweep size is configurable (argv[1], default 120) so the bench
 // finishes in minutes rather than hours.
 //
-// Usage: bench_fig6_solver_cdf [--engine={auto,dense,lu}] [runs]
-//                              [per_solve_limit_s] [max_nodes] [mode]
+// Usage: bench_fig6_solver_cdf [--engine={auto,dense,lu}] [--threads=K]
+//                              [runs] [per_solve_limit_s] [max_nodes]
+//                              [mode]
 //   --engine   basis factorization engine for the node LPs: "dense"
 //              (PR 1's explicit inverse), "lu" (Markowitz LU + eta
 //              file), or "auto" (resolve by row count). Defaults:
 //              auto for warm mode, dense for seed mode (fidelity to
 //              the pre-LU solver).
+//   --threads  branch-and-bound workers per solve (default 1; 0 =
+//              hardware concurrency). The determinism contract holds
+//              at any K — identical objectives and proof outcomes —
+//              so the sweep's per-point objective record doubles as a
+//              cross-thread-count consistency check. Per-point steal /
+//              snapshot-reload / idle telemetry lands in the JSON.
 //   max_nodes  per-solve B&B node budget, 0 = unlimited (default). A
 //              finite budget makes solver A/B comparisons well-defined
 //              on the censored middle of the sweep: both solvers then
@@ -40,9 +47,12 @@ int main(int argc, char** argv) {
   // Split --engine= off the positional arguments.
   bool engine_given = false;
   ilp::BasisEngineKind engine = ilp::BasisEngineKind::kAuto;
+  std::size_t threads = 1;
   std::vector<const char*> pos;
   for (int a = 1; a < argc; ++a) {
-    if (std::strncmp(argv[a], "--engine=", 9) == 0) {
+    if (std::strncmp(argv[a], "--threads=", 10) == 0) {
+      threads = static_cast<std::size_t>(std::atoll(argv[a] + 10));
+    } else if (std::strncmp(argv[a], "--engine=", 9) == 0) {
       const char* v = argv[a] + 9;
       if (std::strcmp(v, "dense") == 0) {
         engine = ilp::BasisEngineKind::kDense;
@@ -97,7 +107,8 @@ int main(int argc, char** argv) {
   const auto plat = profile::tmote_sky();
 
   std::vector<double> discover, prove, objectives, proved, point_nodes,
-      point_iters, point_wall, point_refacs, point_etas;
+      point_iters, point_wall, point_refacs, point_etas, point_steals,
+      point_reloads, point_idle;
   std::size_t feasible = 0;
   std::size_t censored = 0;
   std::size_t total_nodes = 0;
@@ -106,6 +117,10 @@ int main(int argc, char** argv) {
   std::size_t total_refacs = 0;
   std::size_t total_etas = 0;
   std::size_t eta_len_peak = 0;
+  std::size_t total_steals = 0;
+  std::size_t total_reloads = 0;
+  std::size_t threads_used = threads;
+  double total_idle_s = 0.0;
   const char* engine_ran = ilp::engine_name(engine);
   double total_wall_s = 0.0;
   for (std::size_t i = 0; i < runs; ++i) {
@@ -124,6 +139,7 @@ int main(int argc, char** argv) {
     partition::PartitionOptions opts;
     opts.mip.time_limit_s = per_solve_limit_s;
     opts.mip.lp.engine = engine;
+    opts.mip.threads = threads;
     if (max_nodes > 0) opts.mip.max_nodes = max_nodes;
     if (seed_solver) {
       // Pre-warm-start solver, identical partitioner heuristics: every
@@ -146,6 +162,13 @@ int main(int argc, char** argv) {
     point_refacs.push_back(
         static_cast<double>(r.solver.basis_refactorizations));
     point_etas.push_back(static_cast<double>(r.solver.eta_updates));
+    point_steals.push_back(static_cast<double>(r.solver.steals));
+    point_reloads.push_back(static_cast<double>(r.solver.snapshot_reloads));
+    point_idle.push_back(r.solver.idle_s_total);
+    total_steals += r.solver.steals;
+    total_reloads += r.solver.snapshot_reloads;
+    total_idle_s += r.solver.idle_s_total;
+    threads_used = r.solver.threads_used;  // threads=0 resolved
     total_wall_s += r.solver.time_total;
     // "Proved" = the instance was fully resolved: optimality shown or
     // infeasibility established. 0 marks a time/node-limit censoring.
@@ -197,13 +220,20 @@ int main(int argc, char** argv) {
   std::printf("censored instances prove slower than %.0f s each — the "
               "paper's own proof tail ran to ~12 minutes\n",
               per_solve_limit_s);
-  std::printf("\nsolver totals (%s, %s engine): %zu B&B nodes, %zu LP "
-              "iterations, %zu reduced-cost fixings, %.2f s wall\n",
-              seed_solver ? "seed" : "warm", engine_ran, total_nodes,
-              total_lp_iters, total_rc_fixed, total_wall_s);
+  std::printf("\nsolver totals (%s, %s engine, %zu thread%s): %zu B&B "
+              "nodes, %zu LP iterations, %zu reduced-cost fixings, "
+              "%.2f s wall\n",
+              seed_solver ? "seed" : "warm", engine_ran, threads_used,
+              threads_used == 1 ? "" : "s", total_nodes, total_lp_iters,
+              total_rc_fixed, total_wall_s);
   std::printf("basis engine: %zu refactorizations, %zu eta updates, "
               "eta-file peak %zu\n",
               total_refacs, total_etas, eta_len_peak);
+  if (threads_used > 1) {
+    std::printf("parallel search: %zu steals, %zu snapshot reloads, "
+                "%.2f s summed worker idle\n",
+                total_steals, total_reloads, total_idle_s);
+  }
 
   // Machine-readable record so the solver's perf trajectory is tracked
   // across PRs (nodes / LP iterations / discover / prove / objectives).
@@ -211,6 +241,7 @@ int main(int argc, char** argv) {
   j.set("bench", std::string("fig6_solver_cdf"));
   j.set("mode", std::string(seed_solver ? "seed" : "warm"));
   j.set("engine", std::string(engine_ran));
+  j.set("threads", threads_used);
   j.set("runs", runs);
   j.set("per_solve_limit_s", per_solve_limit_s);
   j.set("max_nodes_per_solve", max_nodes);
@@ -222,6 +253,9 @@ int main(int argc, char** argv) {
   j.set("total_basis_refactorizations", total_refacs);
   j.set("total_eta_updates", total_etas);
   j.set("eta_len_peak", eta_len_peak);
+  j.set("total_steals", total_steals);
+  j.set("total_snapshot_reloads", total_reloads);
+  j.set("total_idle_s", total_idle_s);
   j.set("total_wall_s", total_wall_s);
   j.set("discover_p50_s",
         discover.empty() ? -1.0 : util::percentile(discover, 50.0));
@@ -238,6 +272,9 @@ int main(int argc, char** argv) {
   j.set_array("wall_s_per_point", point_wall);
   j.set_array("refactorizations_per_point", point_refacs);
   j.set_array("eta_updates_per_point", point_etas);
+  j.set_array("steals_per_point", point_steals);
+  j.set_array("snapshot_reloads_per_point", point_reloads);
+  j.set_array("idle_s_per_point", point_idle);
   j.write("BENCH_fig6.json");
   return 0;
 }

@@ -1,309 +1,17 @@
 #include "ilp/branch_and_bound.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <memory>
-#include <queue>
-
-#include "util/assert.hpp"
-#include "util/stopwatch.hpp"
+#include "ilp/parallel_bnb.hpp"
 
 namespace wishbone::ilp {
 
-namespace {
-
-/// One bound change: variable `var` restricted to [lo, up].
-struct BoundDelta {
-  int var;
-  double lo;
-  double up;
-};
-
-/// One link in a node's chain of bound changes back to the root: the
-/// branching delta plus any reduced-cost fixings discovered alongside
-/// it. Ancestry is shared (shared_ptr spine), so a node costs one link
-/// instead of two n-sized bound vectors.
-struct DeltaLink {
-  std::shared_ptr<const DeltaLink> parent;
-  std::vector<BoundDelta> deltas;
-};
-
-struct Node {
-  std::shared_ptr<const DeltaLink> chain;  ///< null = root bounds
-  double parent_bound = -kInf;  ///< LP bound of the parent (for pruning)
-  std::size_t depth = 0;
-};
-
-struct NodeOrder {
-  // Best-bound-first: smallest parent bound first; deeper first on ties
-  // so the search dives toward incumbents.
-  bool operator()(const Node& a, const Node& b) const {
-    if (a.parent_bound != b.parent_bound) {
-      return a.parent_bound > b.parent_bound;
-    }
-    return a.depth < b.depth;
-  }
-};
-
-/// Index of the most fractional integer variable, or -1 if integral.
-int pick_branch_var(const LinearProgram& lp, const std::vector<double>& x,
-                    double tol) {
-  int best = -1;
-  double best_dist = tol;
-  for (int v = 0; v < lp.num_variables(); ++v) {
-    if (!lp.is_integer(v)) continue;
-    const double frac = x[v] - std::floor(x[v]);
-    const double dist = std::min(frac, 1.0 - frac);
-    if (dist > best_dist) {
-      best_dist = dist;
-      best = v;
-    }
-  }
-  return best;
-}
-
-}  // namespace
-
+// There is exactly one tree-search implementation: the worker/pool
+// engine in parallel_bnb.cpp. The classic serial solve is its N = 1
+// specialization (one shard, one private SimplexState, run inline on
+// the calling thread), so the serial and parallel paths can never
+// drift apart semantically.
 MipResult BranchAndBound::solve(const LinearProgram& lp,
                                 const MipOptions& opts) const {
-  util::Stopwatch clock;
-  MipResult res;
-
-  const int n = lp.num_variables();
-  std::vector<double> root_lo(n), root_hi(n);
-  for (int v = 0; v < n; ++v) {
-    root_lo[v] = lp.lower(v);
-    root_hi[v] = lp.upper(v);
-  }
-
-  // The one simplex state shared by every node LP. Bound deltas are
-  // replayed onto it per node; in warm mode each solve re-enters from
-  // the basis the previous node left behind.
-  SimplexState state(lp, opts.lp);
-  if (opts.warm_basis && !opts.warm_basis->empty()) {
-    res.warm_basis_loaded = state.load_basis(*opts.warm_basis);
-  }
-
-  double incumbent_obj = kInf;
-  if (opts.warm_start) {
-    WB_REQUIRE(static_cast<int>(opts.warm_start->size()) == n,
-               "warm start has wrong dimension");
-    if (lp.max_violation(*opts.warm_start) <= opts.int_tol) {
-      res.x = *opts.warm_start;
-      res.has_incumbent = true;
-      incumbent_obj = lp.objective_value(res.x);
-      res.objective = incumbent_obj;
-      res.incumbents.push_back({clock.elapsed_seconds(), incumbent_obj, 0});
-      res.time_to_first_incumbent = clock.elapsed_seconds();
-      res.time_to_best_incumbent = clock.elapsed_seconds();
-    }
-  }
-
-  // Open set: priority queue (best-first) or vector used as stack (DFS).
-  std::priority_queue<Node, std::vector<Node>, NodeOrder> best_first;
-  std::vector<Node> stack;
-  auto push = [&](Node nd) {
-    if (opts.depth_first) stack.push_back(std::move(nd));
-    else best_first.push(std::move(nd));
-  };
-  auto empty = [&] {
-    return opts.depth_first ? stack.empty() : best_first.empty();
-  };
-  auto pop = [&] {
-    if (opts.depth_first) {
-      Node nd = std::move(stack.back());
-      stack.pop_back();
-      return nd;
-    }
-    // Move out of the queue's top slot: pop() destroys it anyway, and a
-    // Node carries a shared_ptr chain we'd otherwise copy-then-free.
-    Node nd = std::move(const_cast<Node&>(best_first.top()));
-    best_first.pop();
-    return nd;
-  };
-  auto open_best_bound = [&]() -> double {
-    if (opts.depth_first) {
-      double b = kInf;
-      for (const Node& nd : stack) b = std::min(b, nd.parent_bound);
-      return b;
-    }
-    return best_first.empty() ? kInf : best_first.top().parent_bound;
-  };
-
-  // Bound deltas currently applied to `state` on top of the root
-  // bounds. Node switches reset exactly these variables and replay the
-  // incoming node's chain root-to-leaf (later links only tighten, so
-  // replay order makes the leaf's bounds win).
-  std::vector<int> applied_vars;
-  std::vector<const DeltaLink*> link_scratch;
-  auto apply_node = [&](const Node& nd) {
-    for (int v : applied_vars) state.set_bounds(v, root_lo[v], root_hi[v]);
-    applied_vars.clear();
-    link_scratch.clear();
-    for (const DeltaLink* l = nd.chain.get(); l != nullptr;
-         l = l->parent.get()) {
-      link_scratch.push_back(l);
-    }
-    for (auto it = link_scratch.rbegin(); it != link_scratch.rend(); ++it) {
-      for (const BoundDelta& d : (*it)->deltas) {
-        state.set_bounds(d.var, d.lo, d.up);
-        applied_vars.push_back(d.var);
-      }
-    }
-  };
-
-  push(Node{nullptr, -kInf, 0});
-
-  bool hit_limit = false;
-  while (!empty()) {
-    if (clock.elapsed_seconds() > opts.time_limit_s ||
-        res.nodes_explored >= opts.max_nodes) {
-      hit_limit = true;
-      break;
-    }
-    Node nd = pop();
-    // Prune against the incumbent before paying for the LP.
-    const double prune_margin =
-        std::max(opts.gap_abs, opts.gap_rel * std::fabs(incumbent_obj));
-    if (nd.parent_bound >= incumbent_obj - prune_margin) continue;
-
-    apply_node(nd);
-    if (!opts.warm_lp) state.reset();  // seed behavior: cold per node
-    const LpSolution rel = state.solve();
-    res.lp_iterations += rel.iterations;
-    ++res.nodes_explored;
-
-    if (rel.status == SolveStatus::kInfeasible) continue;
-    if (rel.status != SolveStatus::kOptimal) {
-      hit_limit = true;  // numerical failure in a node LP
-      break;
-    }
-
-    // Primal rounding heuristic on shallow nodes.
-    if (opts.rounding_hook && nd.depth <= opts.rounding_depth) {
-      if (auto cand = opts.rounding_hook(rel.x)) {
-        if (static_cast<int>(cand->size()) == n &&
-            lp.max_violation(*cand) <= opts.int_tol) {
-          const double obj = lp.objective_value(*cand);
-          if (obj < incumbent_obj - opts.gap_abs) {
-            incumbent_obj = obj;
-            res.x = std::move(*cand);
-            res.has_incumbent = true;
-            res.objective = obj;
-            const double now = clock.elapsed_seconds();
-            if (res.time_to_first_incumbent < 0) {
-              res.time_to_first_incumbent = now;
-            }
-            res.time_to_best_incumbent = now;
-            res.incumbents.push_back({now, obj, res.nodes_explored});
-          }
-        }
-      }
-    }
-
-    // (Re)compute the margin: the hook may have tightened the incumbent.
-    const double node_margin =
-        std::max(opts.gap_abs, opts.gap_rel * std::fabs(incumbent_obj));
-    if (rel.objective >= incumbent_obj - node_margin) continue;
-
-    const int branch = pick_branch_var(lp, rel.x, opts.int_tol);
-    if (branch < 0) {
-      // Integral: new incumbent.
-      std::vector<double> xi = rel.x;
-      for (int v = 0; v < n; ++v) {
-        if (lp.is_integer(v)) xi[v] = std::round(xi[v]);
-      }
-      const double obj = lp.objective_value(xi);
-      if (obj < incumbent_obj - opts.gap_abs) {
-        incumbent_obj = obj;
-        res.x = std::move(xi);
-        res.has_incumbent = true;
-        res.objective = obj;
-        const double now = clock.elapsed_seconds();
-        if (res.time_to_first_incumbent < 0) {
-          res.time_to_first_incumbent = now;
-        }
-        res.time_to_best_incumbent = now;
-        res.incumbents.push_back({now, obj, res.nodes_explored});
-      }
-      continue;
-    }
-
-    // Reduced-cost fixing (both children inherit these): a nonbasic
-    // integer variable resting on a bound whose reduced cost alone
-    // lifts this node's LP bound past the incumbent cutoff can never
-    // move in an *improving* subtree solution — pin it. Only integral
-    // bounds qualify (the next integer point is then a full unit away).
-    std::vector<BoundDelta> fixings;
-    if (opts.reduced_cost_fixing && res.has_incumbent) {
-      const double cutoff = incumbent_obj - node_margin;
-      const std::vector<double>& rc = state.reduced_costs();
-      for (int v = 0; v < n; ++v) {
-        if (!lp.is_integer(v)) continue;
-        const double lo = state.lower(v);
-        const double up = state.upper(v);
-        if (lo == up || up - lo < 1.0 - opts.int_tol) continue;
-        if (std::floor(lo) != lo || std::floor(up) != up) continue;
-        if (rc[v] > 0.0 && rel.x[v] <= lo + opts.int_tol &&
-            rel.objective + rc[v] >= cutoff) {
-          fixings.push_back({v, lo, lo});
-        } else if (rc[v] < 0.0 && rel.x[v] >= up - opts.int_tol &&
-                   rel.objective - rc[v] >= cutoff) {
-          fixings.push_back({v, up, up});
-        }
-      }
-      res.vars_fixed_by_reduced_cost += fixings.size();
-    }
-
-    // Branch: floor side and ceil side, as deltas on this node's chain.
-    const double xb = rel.x[branch];
-    auto extend = [&](double lo, double up) {
-      auto link = std::make_shared<DeltaLink>();
-      link->parent = nd.chain;
-      link->deltas = fixings;
-      link->deltas.push_back({branch, lo, up});
-      return link;
-    };
-    Node down{extend(state.lower(branch), std::floor(xb)), rel.objective,
-              nd.depth + 1};
-    Node up{extend(std::ceil(xb), state.upper(branch)), rel.objective,
-            nd.depth + 1};
-    if (opts.depth_first) {
-      // Dive toward the side nearest the LP value.
-      if (xb - std::floor(xb) > 0.5) {
-        push(std::move(down));
-        push(std::move(up));
-      } else {
-        push(std::move(up));
-        push(std::move(down));
-      }
-    } else {
-      push(std::move(down));
-      push(std::move(up));
-    }
-  }
-
-  res.time_total = clock.elapsed_seconds();
-  res.final_basis = state.extract_basis();
-  res.basis_engine = state.engine_kind();
-  res.basis_refactorizations = state.basis_stats().refactorizations;
-  res.eta_updates = state.basis_stats().eta_updates;
-  res.eta_len_peak = state.basis_stats().eta_len_peak;
-  // The proven lower bound is the least bound among unexplored nodes;
-  // with the tree exhausted it is the incumbent itself.
-  const double open_bound = open_best_bound();
-  res.best_bound = std::isfinite(open_bound)
-                       ? open_bound
-                       : (res.has_incumbent ? incumbent_obj : kInf);
-  if (hit_limit) {
-    res.status = SolveStatus::kIterationLimit;
-  } else if (!res.has_incumbent) {
-    res.status = SolveStatus::kInfeasible;
-  } else {
-    res.status = SolveStatus::kOptimal;
-    res.best_bound = res.objective;
-  }
-  return res;
+  return ParallelBranchAndBound().solve(lp, opts);
 }
 
 }  // namespace wishbone::ilp

@@ -8,14 +8,21 @@
 // *discovered* (first incumbent equal to the final optimum) and the
 // time needed to *prove* optimality (search exhausted / gap closed).
 //
-// Incremental state: all node LPs share one SimplexState. A node stores
-// only the chain of bound deltas back to the root (shared ancestry, so
-// a node costs O(1) extra memory instead of two n-vectors), the solver
-// replays the delta chain onto the shared state, and each LP re-solve
-// warm-starts from the basis the previous node left behind — sibling
-// LPs differ by a single bound, so phase-1 repair is a few pivots.
-// Reduced-cost fixing pins 0/1 indicators whose reduced cost already
-// closes the incumbent gap, shrinking the tree.
+// Incremental state: every worker owns one SimplexState shared by all
+// node LPs it solves. A node stores only the chain of bound deltas back
+// to the root (shared ancestry, so a node costs O(1) extra memory
+// instead of two n-vectors), the worker replays the delta chain onto
+// its state, and each LP re-solve warm-starts from the basis the
+// previous node left behind — sibling LPs differ by a single bound, so
+// phase-1 repair is a few pivots. Reduced-cost fixing pins 0/1
+// indicators whose reduced cost already closes the incumbent gap,
+// shrinking the tree.
+//
+// The search itself runs on the engine in ilp/parallel_bnb.{hpp,cpp}:
+// a sharded node pool with work stealing, an atomic incumbent, and
+// basis-snapshot handoff for stolen nodes. MipOptions::threads picks
+// the worker count; the serial solve is the N = 1 specialization of
+// the same pool machinery (inline on the calling thread, no spawn).
 #pragma once
 
 #include <functional>
@@ -62,12 +69,36 @@ struct MipOptions {
   /// the previous rate-search probe); loaded into the shared state
   /// before the root LP. Ignored on shape mismatch.
   std::optional<Basis> warm_basis;
+  /// Number of branch-and-bound workers. 1 (default) runs the search
+  /// inline on the calling thread — bit-reproducible run-to-run. N > 1
+  /// spawns N workers, each with a private SimplexState over a sharded
+  /// node pool with work stealing; 0 resolves to the hardware thread
+  /// count. The determinism contract at any thread count: identical
+  /// objectives and proof outcomes (node/iteration *counts* may differ
+  /// with the interleaving). When threads > 1 the rounding_hook must be
+  /// reentrant — it is invoked concurrently from several workers.
+  std::size_t threads = 1;
 };
 
 struct IncumbentRecord {
   double time_s = 0.0;    ///< seconds since solve() began
   double objective = 0.0;
   std::size_t node = 0;   ///< B&B node index that produced it (0 = warm)
+};
+
+/// Per-worker counters of a (possibly parallel) branch-and-bound run.
+/// Serial solves report exactly one entry with steals == 0.
+struct WorkerTelemetry {
+  std::size_t nodes_explored = 0;
+  std::size_t lp_iterations = 0;
+  /// Nodes this worker popped from another worker's pool shard.
+  std::size_t steals = 0;
+  /// Steals that reloaded the node's basis snapshot into the worker's
+  /// SimplexState instead of phase-1-repairing from a stale basis.
+  std::size_t snapshot_reloads = 0;
+  /// Wall-clock seconds spent waiting for work (empty pools).
+  double idle_s = 0.0;
+  std::size_t vars_fixed_by_reduced_cost = 0;
 };
 
 struct MipResult {
@@ -103,6 +134,16 @@ struct MipResult {
   /// factorized cleanly (false = the solve fell back to a cold basis).
   bool warm_basis_loaded = false;
 
+  /// Parallel-search telemetry: the worker count the solve actually ran
+  /// with (MipOptions::threads == 0 resolved), one entry per worker,
+  /// and the cross-worker totals. Serial solves: threads_used == 1,
+  /// steals == snapshot_reloads == 0.
+  std::size_t threads_used = 1;
+  std::vector<WorkerTelemetry> workers;
+  std::size_t steals = 0;
+  std::size_t snapshot_reloads = 0;
+  double idle_s_total = 0.0;
+
   /// Absolute optimality gap at termination (0 when proved optimal).
   [[nodiscard]] double gap() const {
     return has_incumbent ? objective - best_bound : kInf;
@@ -112,7 +153,9 @@ struct MipResult {
 class BranchAndBound {
  public:
   /// Solves the MIP. The model is left untouched: node bounds live in
-  /// the solver's own SimplexState, never written back into `lp`.
+  /// the workers' own SimplexStates, never written back into `lp`.
+  /// Thin facade over ParallelBranchAndBound (ilp/parallel_bnb.hpp) —
+  /// opts.threads == 1 runs the identical machinery inline.
   [[nodiscard]] MipResult solve(const LinearProgram& lp,
                                 const MipOptions& opts = {}) const;
 };

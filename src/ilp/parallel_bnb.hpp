@@ -1,0 +1,58 @@
+// Multithreaded best-first branch and bound: the one tree-search
+// implementation behind BranchAndBound, at any worker count.
+//
+// Decomposition (mirroring how distributed Newton methods scale
+// structured optimization: independent subproblem solves coordinated
+// through a small shared state):
+//
+//  - N workers, each with a *private* SimplexState — the PR 1/PR 2
+//    observation that the shared simplex state is the only contention
+//    point, resolved by giving every worker its own factorized basis.
+//  - A sharded node pool (one deterministic heap per worker) with work
+//    stealing: a worker pushes its children to its own shard (locality:
+//    the child differs from the basis it just left by one bound) and
+//    steals the best node from a sibling's shard only when its own runs
+//    dry — the diving tail where a single shard would serialize.
+//  - An atomic incumbent: pruning and reduced-cost fixing read it
+//    lock-free. Stale reads are *conservative* — the incumbent only
+//    ever decreases, so a stale (higher) value prunes and fixes less,
+//    never more. Updates re-check under a mutex.
+//  - Global best-bound aggregation: every worker publishes its
+//    in-flight node's bound under the same shard lock that pops the
+//    node, so a scan holding all shard locks (idle path only — the
+//    hot paths never take more than their own) sees every unresolved
+//    subtree. Idle workers use it to stop the whole search once the
+//    gap closes; limit-censored runs price MipResult::best_bound from
+//    the post-join open set.
+//  - Basis-snapshot handoff: when threads > 1, an expanded node
+//    attaches its parent's basis (one extract_basis, shared by both
+//    children). A worker that *steals* a node lands far from its own
+//    subtree, so it reloads the snapshot via SimplexState::load_basis
+//    — one refactorization — instead of phase-1-repairing from an
+//    unrelated stale basis. Locally popped nodes skip the reload; the
+//    warm basis in the worker's state is already a near ancestor.
+//
+// Determinism contract: identical objectives and proof outcomes at any
+// thread count (node and iteration *counts* vary with interleaving).
+// The node heaps order by bound, then depth; remaining ties resolve by
+// the heap's deterministic sift order — NOT by creation index, a
+// deliberate, measured choice (see NodeCompare in parallel_bnb.cpp:
+// every total tie order tried cost 11–126% more LP iterations on the
+// Fig. 6 sweep). Serial runs (threads == 1, executed inline with no
+// spawn) are bit-reproducible run-to-run because their push/pop
+// sequence, and hence the heap layout, is itself deterministic.
+#pragma once
+
+#include "ilp/branch_and_bound.hpp"
+
+namespace wishbone::ilp {
+
+class ParallelBranchAndBound {
+ public:
+  /// Runs the branch-and-bound search with opts.threads workers
+  /// (0 = hardware concurrency, 1 = inline serial specialization).
+  [[nodiscard]] MipResult solve(const LinearProgram& lp,
+                                const MipOptions& opts = {}) const;
+};
+
+}  // namespace wishbone::ilp

@@ -31,6 +31,9 @@ RateSearchResult max_sustainable_rate(
     res.total_lp_iterations += r.solver.lp_iterations;
     res.total_basis_refactorizations += r.solver.basis_refactorizations;
     res.total_eta_updates += r.solver.eta_updates;
+    res.total_steals += r.solver.steals;
+    res.total_snapshot_reloads += r.solver.snapshot_reloads;
+    res.total_idle_s += r.solver.idle_s_total;
     if (r.solver.warm_basis_loaded) ++res.probes_with_inherited_basis;
     return r;
   };

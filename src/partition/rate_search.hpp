@@ -36,6 +36,11 @@ struct RateSearchResult {
   /// Probes whose inherited basis actually factorized and was used
   /// (shape mismatches and singular inherits fall back cold).
   std::size_t probes_with_inherited_basis = 0;
+  // Parallel-search totals across all probes (opts.partition.mip.threads
+  // picks the worker count per solve; see MipOptions::threads).
+  std::size_t total_steals = 0;
+  std::size_t total_snapshot_reloads = 0;
+  double total_idle_s = 0.0;
 };
 
 /// `problem_at(rate)` must build the partition problem for a given

@@ -12,214 +12,36 @@
 //   WISHBONE_DIFF_TRIALS=5000 ./build/wishbone_tests \
 //       --gtest_filter='LpDifferential*'
 //
-// Generators draw coefficients from a dyadic grid (multiples of 1/64)
-// so feasibility/optimality margins are either exactly zero or far
-// above the solver tolerances — instances stay off the tolerance
-// knife-edge where the two engines could legitimately disagree, while
-// exact ties (the degenerate family exists to produce them) remain.
+// Generators (tests/lp_generators.hpp, shared with the serial-vs-
+// parallel suite in test_parallel_bnb.cpp) draw coefficients from a
+// dyadic grid (multiples of 1/64) so feasibility/optimality margins
+// are either exactly zero or far above the solver tolerances —
+// instances stay off the tolerance knife-edge where the two engines
+// could legitimately disagree, while exact ties (the degenerate family
+// exists to produce them) remain.
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <cstdlib>
 #include <random>
 #include <string>
 
 #include "ilp/basis_lu.hpp"
 #include "ilp/branch_and_bound.hpp"
 #include "ilp/simplex.hpp"
+#include "lp_generators.hpp"
 
 using namespace wishbone::ilp;
 
 namespace {
 
-int diff_trials() {
-  static const int trials = [] {
-    if (const char* e = std::getenv("WISHBONE_DIFF_TRIALS")) {
-      const int v = std::atoi(e);
-      if (v > 0) return v;
-    }
-    return 400;  // CI default: 5 LP families x 400 = 2000 instances
-  }();
-  return trials;
-}
-
-/// Random value on the dyadic grid (multiples of 1/64).
-double grid(std::mt19937& rng, double lo, double hi) {
-  std::uniform_real_distribution<double> d(lo, hi);
-  return std::round(d(rng) * 64.0) / 64.0;
-}
-
-/// Grid value bounded away from zero (avoids near-singular columns).
-double grid_nz(std::mt19937& rng, double lo, double hi) {
-  for (;;) {
-    const double v = grid(rng, lo, hi);
-    if (std::fabs(v) >= 0.125) return v;
-  }
-}
-
-// ------------------------------------------------------- LP generators
-
-LinearProgram gen_dense_lp(std::uint32_t seed) {
-  std::mt19937 rng(seed);
-  const int n = 2 + static_cast<int>(rng() % 9);
-  const int m = 1 + static_cast<int>(rng() % 8);
-  LinearProgram lp;
-  for (int j = 0; j < n; ++j) {
-    lp.add_variable("x" + std::to_string(j), 0.0, grid(rng, 0.5, 3.0),
-                    grid(rng, -2.0, 2.0), false);
-  }
-  for (int r = 0; r < m; ++r) {
-    Constraint c;
-    for (int j = 0; j < n; ++j) c.terms.emplace_back(j, grid_nz(rng, -2, 2));
-    const unsigned k = rng() % 8;
-    c.rel = k < 5 ? Relation::kLe : (k < 7 ? Relation::kGe : Relation::kEq);
-    if (c.rel == Relation::kEq) {
-      // Anchor the rhs at a random box point so equality rows are
-      // individually attainable (jointly they may still conflict).
-      double rhs = 0.0;
-      for (const auto& [j, coeff] : c.terms) {
-        rhs += coeff * grid(rng, 0.0, lp.upper(j));
-      }
-      c.rhs = std::round(rhs * 64.0) / 64.0;
-    } else {
-      c.rhs = grid(rng, -1.0, 0.4 * n);
-    }
-    lp.add_constraint(std::move(c));
-  }
-  return lp;
-}
-
-LinearProgram gen_sparse_lp(std::uint32_t seed) {
-  std::mt19937 rng(seed);
-  const int n = 8 + static_cast<int>(rng() % 33);
-  const int m = 4 + static_cast<int>(rng() % 27);
-  LinearProgram lp;
-  for (int j = 0; j < n; ++j) {
-    lp.add_variable("x" + std::to_string(j), 0.0, grid(rng, 0.5, 2.0),
-                    grid(rng, -2.0, 2.0), false);
-  }
-  for (int r = 0; r < m; ++r) {
-    Constraint c;
-    const int nnz = 2 + static_cast<int>(rng() % 3);
-    for (int t = 0; t < nnz; ++t) {
-      const int j = static_cast<int>(rng() % n);
-      c.terms.emplace_back(j, grid_nz(rng, -1.5, 1.5));
-    }
-    c.rel = (rng() % 4 == 0) ? Relation::kGe : Relation::kLe;
-    c.rhs = grid(rng, -0.5, 2.0);
-    lp.add_constraint(std::move(c));
-  }
-  return lp;
-}
-
-LinearProgram gen_degenerate_lp(std::uint32_t seed) {
-  // Exact ties everywhere: duplicated rows, shared rhs values, equal
-  // objective coefficients, zero rhs rows — the degenerate-pivot and
-  // Bland's-rule paths of both engines.
-  std::mt19937 rng(seed);
-  const int n = 4 + static_cast<int>(rng() % 9);
-  LinearProgram lp;
-  const double shared_cost = grid(rng, -1.0, 1.0);
-  for (int j = 0; j < n; ++j) {
-    lp.add_variable("x" + std::to_string(j), 0.0, 1.0,
-                    (rng() % 2) ? shared_cost : grid(rng, -1.0, 1.0),
-                    false);
-  }
-  std::vector<Constraint> rows;
-  const int base_rows = 2 + static_cast<int>(rng() % 3);
-  for (int r = 0; r < base_rows; ++r) {
-    Constraint c;
-    for (int j = 0; j < n; ++j) {
-      if (rng() % 2) c.terms.emplace_back(j, (rng() % 2) ? 1.0 : 0.5);
-    }
-    if (c.terms.empty()) c.terms.emplace_back(0, 1.0);
-    c.rel = Relation::kLe;
-    c.rhs = (rng() % 3 == 0) ? 0.0 : 0.25 * static_cast<double>(rng() % 8);
-    rows.push_back(c);
-  }
-  // Duplicate a subset verbatim (redundant rows = degenerate bases).
-  const std::size_t orig = rows.size();
-  for (std::size_t r = 0; r < orig; ++r) {
-    if (rng() % 2) rows.push_back(rows[r]);
-  }
-  for (auto& c : rows) lp.add_constraint(std::move(c));
-  return lp;
-}
-
-LinearProgram gen_bounded_lp(std::uint32_t seed) {
-  // Bound-structure zoo: free variables, one-sided bounds, fixed
-  // variables, negative ranges — the bound-flip ratio-test paths.
-  std::mt19937 rng(seed);
-  const int n = 3 + static_cast<int>(rng() % 10);
-  const int m = 2 + static_cast<int>(rng() % 6);
-  LinearProgram lp;
-  for (int j = 0; j < n; ++j) {
-    double lo = 0.0, up = 1.0;
-    switch (rng() % 6) {
-      case 0: lo = -kInf; up = kInf; break;              // free
-      case 1: lo = -kInf; up = grid(rng, -1.0, 2.0); break;
-      case 2: lo = grid(rng, -2.0, 1.0); up = kInf; break;
-      case 3: lo = up = grid(rng, -1.0, 1.0); break;     // fixed
-      case 4: lo = grid(rng, -3.0, -1.0); up = grid(rng, -1.0, 1.0) + 2.0;
-              break;
-      default: lo = 0.0; up = grid(rng, 0.5, 2.0); break;
-    }
-    lp.add_variable("x" + std::to_string(j), lo, up, grid(rng, -1.5, 1.5),
-                    false);
-  }
-  for (int r = 0; r < m; ++r) {
-    Constraint c;
-    const int nnz = 2 + static_cast<int>(rng() % 3);
-    for (int t = 0; t < nnz; ++t) {
-      c.terms.emplace_back(static_cast<int>(rng() % n),
-                           grid_nz(rng, -1.5, 1.5));
-    }
-    const unsigned k = rng() % 6;
-    c.rel = k < 4 ? Relation::kLe : (k < 5 ? Relation::kGe : Relation::kEq);
-    c.rhs = grid(rng, -1.0, 3.0);
-    lp.add_constraint(std::move(c));
-  }
-  return lp;
-}
-
-/// Partition-formulation-shaped instance: 0/1 indicators, knapsack
-/// capacity rows, monotone f_u >= f_v edge rows. `integral` keeps the
-/// integrality markers (MIP family) or relaxes them (LP family).
-LinearProgram gen_partition_shaped(std::uint32_t seed, bool integral,
-                                   int n_override = 0) {
-  std::mt19937 rng(seed);
-  const int n =
-      n_override > 0 ? n_override : 8 + static_cast<int>(rng() % 13);
-  LinearProgram lp;
-  for (int j = 0; j < n; ++j) {
-    if (integral) {
-      lp.add_binary("f" + std::to_string(j), grid(rng, -3.0, 3.0));
-    } else {
-      lp.add_variable("f" + std::to_string(j), 0.0, 1.0,
-                      grid(rng, -3.0, 3.0), false);
-    }
-  }
-  for (int r = 0; r < 3; ++r) {
-    Constraint c;
-    for (int j = 0; j < n; ++j) {
-      c.terms.emplace_back(j, grid(rng, 0.05, 1.0) + 0.05);
-    }
-    c.rel = Relation::kLe;
-    c.rhs = 0.35 * n;
-    lp.add_constraint(std::move(c));
-  }
-  for (int e = 0; e < n; ++e) {
-    const int u = static_cast<int>(rng() % n);
-    const int v = static_cast<int>(rng() % n);
-    if (u == v) continue;
-    Constraint c;
-    c.terms = {{u, 1.0}, {v, -1.0}};
-    c.rel = Relation::kGe;
-    c.rhs = 0.0;
-    lp.add_constraint(std::move(c));
-  }
-  return lp;
-}
+using testgen::diff_trials;
+using testgen::gen_bounded_lp;
+using testgen::gen_degenerate_lp;
+using testgen::gen_dense_lp;
+using testgen::gen_partition_shaped;
+using testgen::gen_sparse_lp;
+using testgen::grid;
+using testgen::grid_nz;
 
 // ------------------------------------------------------- the oracle
 
