@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Diff a freshly emitted BENCH_stream.json against a reference snapshot.
+
+Usage:
+    check_stream_regression.py REFERENCE.json FRESH.json
+                               [--max-regression R] [--throughput MODE]
+
+Three layers of checks, strongest first:
+
+1. Allocation contract (always enforced, machine-independent): the
+   fresh run's steady-state allocations per event must be exactly zero
+   for both pipelines. A single new allocation in the streaming path is
+   a bug, not noise.
+
+2. SIMD speedup ratios (enforced when the fresh and reference runs
+   dispatched the same ISA): each recorded *_speedup — per-kernel and
+   end-to-end — must stay within (1 - R) of the reference (default
+   R = 0.10). Ratios divide out the host clock, so they travel between
+   machines of the same ISA far better than absolute throughput.
+
+3. Absolute samples/sec (--throughput gate|report, default gate):
+   end-to-end SIMD samples/sec must stay within (1 - R) of the
+   reference. Wall-clock throughput depends on the host — CI runs this
+   layer in report mode (the repo convention set by the Fig. 6 wall
+   trend) and the gate is meant for same-host comparisons.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("reference")
+    ap.add_argument("fresh")
+    ap.add_argument("--max-regression", type=float, default=0.10,
+                    help="allowed fractional drop vs reference (default 0.10)")
+    ap.add_argument("--throughput", choices=["gate", "report"],
+                    default="gate",
+                    help="whether absolute samples/sec failures are fatal "
+                         "(default gate; use report across differing hosts)")
+    args = ap.parse_args()
+
+    ref = load(args.reference)
+    new = load(args.fresh)
+    floor = 1.0 - args.max_regression
+    failures = []
+
+    # ---- 1. allocation contract ------------------------------------
+    for key in ("eeg_allocs_per_event", "speech_allocs_per_event"):
+        v = new.get(key)
+        if v is None:
+            failures.append(f"missing {key} in fresh run")
+        elif v != 0:
+            failures.append(f"{key} = {v!r}, steady state must not allocate")
+        else:
+            print(f"ok: {key} == 0")
+
+    # ---- 2. speedup ratios (ISA-matched) ---------------------------
+    same_isa = ref.get("isa") == new.get("isa")
+    if not same_isa:
+        print(f"note: ISA differs (reference {ref.get('isa')!r} vs fresh "
+              f"{new.get('isa')!r}); speedup gates skipped")
+    speedup_keys = sorted(k for k in ref if k.endswith("_speedup"))
+    for key in speedup_keys:
+        rv, nv = ref.get(key), new.get(key)
+        if nv is None:
+            failures.append(f"missing {key} in fresh run")
+            continue
+        status = "ok" if nv >= rv * floor else "REGRESSION"
+        print(f"{status}: {key} reference {rv:.2f}x fresh {nv:.2f}x")
+        if same_isa and nv < rv * floor:
+            failures.append(
+                f"{key} regressed: {nv:.2f}x vs reference {rv:.2f}x "
+                f"(floor {rv * floor:.2f}x)")
+
+    # ---- 3. absolute throughput ------------------------------------
+    for key in ("eeg_simd_samples_per_sec", "speech_simd_samples_per_sec"):
+        rv, nv = ref.get(key), new.get(key)
+        if rv is None or nv is None:
+            continue
+        ratio = nv / rv if rv else float("inf")
+        print(f"throughput: {key} reference {rv:.3g} fresh {nv:.3g} "
+              f"({ratio:.2f}x)")
+        if ratio < floor:
+            msg = (f"{key} regressed: {nv:.3g} vs reference {rv:.3g} "
+                   f"({ratio:.2f}x < {floor:.2f}x)")
+            if args.throughput == "gate":
+                failures.append(msg)
+            else:
+                print(f"warning (report-only): {msg}")
+
+    if failures:
+        print()
+        for f in failures:
+            print(f"FAIL: {f}")
+        sys.exit(1)
+    print("OK: no streaming-throughput regression")
+
+
+if __name__ == "__main__":
+    main()

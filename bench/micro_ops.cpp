@@ -9,6 +9,9 @@
 #include "dsp/dct.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/fir.hpp"
+#include "dsp/mel.hpp"
+#include "dsp/simd.hpp"
+#include "dsp/wavelet.hpp"
 #include "graph/pinning.hpp"
 #include "ilp/simplex.hpp"
 #include "partition/formulation.hpp"
@@ -45,6 +48,77 @@ static void BM_Dct13(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Dct13);
+
+// ---- per-kernel ns/sample, dispatched-SIMD vs forced-scalar --------
+// range(0) selects the path: 0 = dispatched (SIMD when available),
+// 1 = forced scalar reference. ns/sample = time / items_processed.
+
+static void BM_FirProcessInto(benchmark::State& state) {
+  dsp::simd::force_scalar(state.range(0) == 1);
+  dsp::FirFilter fir(std::vector<float>(32, 0.03125f));
+  std::vector<float> in(512, 0.5f), out(512);
+  for (auto _ : state) {
+    fir.process_into(dsp::SignalView(in), dsp::MutSignalView(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+  dsp::simd::force_scalar(false);
+}
+BENCHMARK(BM_FirProcessInto)->Arg(0)->Arg(1);
+
+static void BM_WaveletStage(benchmark::State& state) {
+  dsp::simd::force_scalar(state.range(0) == 1);
+  dsp::PolyphaseStage stage(dsp::lowpass_polyphase());
+  std::vector<float> in(512, 0.5f), out(512 / 2 + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stage.process_into(dsp::SignalView(in), dsp::MutSignalView(out)));
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+  dsp::simd::force_scalar(false);
+}
+BENCHMARK(BM_WaveletStage)->Arg(0)->Arg(1);
+
+static void BM_PowerSpectrum256(benchmark::State& state) {
+  dsp::simd::force_scalar(state.range(0) == 1);
+  std::vector<float> in(256), out(129);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    in[i] = static_cast<float>(i % 7) - 3.0f;
+  dsp::SpectrumScratch scratch;
+  for (auto _ : state) {
+    dsp::power_spectrum_into(dsp::SignalView(in), dsp::MutSignalView(out),
+                             scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+  dsp::simd::force_scalar(false);
+}
+BENCHMARK(BM_PowerSpectrum256)->Arg(0)->Arg(1);
+
+static void BM_MelApply(benchmark::State& state) {
+  dsp::simd::force_scalar(state.range(0) == 1);
+  dsp::MelFilterbank bank(32, 129, 8000.0);
+  std::vector<float> spec(129, 1.0f), out(32);
+  for (auto _ : state) {
+    bank.apply_into(dsp::SignalView(spec), dsp::MutSignalView(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 129);
+  dsp::simd::force_scalar(false);
+}
+BENCHMARK(BM_MelApply)->Arg(0)->Arg(1);
+
+static void BM_DctInto(benchmark::State& state) {
+  dsp::simd::force_scalar(state.range(0) == 1);
+  std::vector<float> in(32, 1.0f), out(13);
+  for (auto _ : state) {
+    dsp::dct_ii_into(dsp::SignalView(in), dsp::MutSignalView(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+  dsp::simd::force_scalar(false);
+}
+BENCHMARK(BM_DctInto)->Arg(0)->Arg(1);
 
 static void BM_SpeechTraceGen(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,6 +1,6 @@
 #include "apps/eeg.hpp"
 
-#include <deque>
+#include <algorithm>
 #include <memory>
 #include <string>
 
@@ -20,15 +20,58 @@ using graph::GraphBuilder;
 using graph::OperatorImpl;
 using graph::Stream;
 
+/// Bounded-depth FIFO of frames whose slots recycle their capacity, so
+/// steady-state push/pop never allocates (std::deque<std::vector> frees
+/// and reallocates blocks as it cycles; this ring does not).
+class FrameFifo {
+ public:
+  void push(const std::vector<float>& samples) {
+    if (count_ == slots_.size()) {
+      // Grow (warmup only): rotate so the ring starts at index 0, then
+      // append a fresh slot at the write position.
+      std::rotate(slots_.begin(),
+                  slots_.begin() + static_cast<std::ptrdiff_t>(head_),
+                  slots_.end());
+      head_ = 0;
+      slots_.emplace_back();
+    }
+    std::vector<float>& slot = slots_[(head_ + count_) % slots_.size()];
+    slot.assign(samples.begin(), samples.end());
+    ++count_;
+  }
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] const std::vector<float>& front() const {
+    return slots_[head_];
+  }
+  void pop() {
+    WB_ASSERT(count_ > 0);
+    head_ = (head_ + 1) % slots_.size();
+    --count_;
+  }
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::vector<std::vector<float>> slots_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
 /// Re-framing of the raw channel stream into analysis windows
 /// (data-neutral; §6.1 "we divide the stream into 2 second windows").
 class WindowOp final : public OperatorImpl {
  public:
   void process(std::size_t, const Frame& in, Context& ctx) override {
-    auto& m = ctx.meter();
-    m.charge_mem(2 * in.wire_bytes());
-    m.charge_int(in.size());
-    ctx.emit(Frame(in.samples(), Encoding::kInt16));
+    if (auto* m = ctx.cost_meter()) {
+      m->charge_mem(2 * in.wire_bytes());
+      m->charge_int(in.size());
+    }
+    std::vector<float> out = ctx.get_buffer(in.size());
+    std::copy(in.samples().begin(), in.samples().end(), out.begin());
+    ctx.emit(Frame(std::move(out), Encoding::kInt16));
   }
   [[nodiscard]] std::unique_ptr<OperatorImpl> clone() const override {
     return std::make_unique<WindowOp>(*this);
@@ -40,12 +83,13 @@ class PreGainOp final : public OperatorImpl {
  public:
   explicit PreGainOp(float gain) : gain_(gain) {}
   void process(std::size_t, const Frame& in, Context& ctx) override {
-    std::vector<float> out(in.size());
+    std::vector<float> out = ctx.get_buffer(in.size());
     for (std::size_t i = 0; i < in.size(); ++i) out[i] = gain_ * in[i];
-    auto& m = ctx.meter();
-    m.charge_float(in.size());
-    m.charge_mem(8 * in.size());
-    m.charge_branch(in.size());
+    if (auto* m = ctx.cost_meter()) {
+      m->charge_float(in.size());
+      m->charge_mem(8 * in.size());
+      m->charge_branch(in.size());
+    }
     ctx.emit(Frame(std::move(out), Encoding::kInt16));
   }
   [[nodiscard]] std::unique_ptr<OperatorImpl> clone() const override {
@@ -61,8 +105,13 @@ class ParityOp final : public OperatorImpl {
  public:
   explicit ParityOp(bool even) : even_(even) {}
   void process(std::size_t, const Frame& in, Context& ctx) override {
-    auto out = even_ ? dsp::take_even(in.samples(), phase_, &ctx.meter())
-                     : dsp::take_odd(in.samples(), phase_, &ctx.meter());
+    std::vector<float> out = ctx.get_buffer(in.size() / 2 + 1);
+    const dsp::SignalView x(in.samples());
+    const dsp::MutSignalView ov(out.data(), out.size());
+    const std::size_t cnt =
+        even_ ? dsp::take_even_into(x, phase_, ov, ctx.cost_meter())
+              : dsp::take_odd_into(x, phase_, ov, ctx.cost_meter());
+    out.resize(cnt);
     ctx.emit(Frame(std::move(out), Encoding::kInt16));
   }
   [[nodiscard]] std::unique_ptr<OperatorImpl> clone() const override {
@@ -80,8 +129,10 @@ class FirOp final : public OperatorImpl {
  public:
   explicit FirOp(std::vector<float> coeffs) : fir_(std::move(coeffs)) {}
   void process(std::size_t, const Frame& in, Context& ctx) override {
-    ctx.emit(Frame(fir_.process(in.samples(), &ctx.meter()),
-                   Encoding::kInt16));
+    std::vector<float> out = ctx.get_buffer(in.size());
+    fir_.process_into(dsp::SignalView(in.samples()),
+                      dsp::MutSignalView(out), ctx.cost_meter());
+    ctx.emit(Frame(std::move(out), Encoding::kInt16));
   }
   [[nodiscard]] std::unique_ptr<OperatorImpl> clone() const override {
     return std::make_unique<FirOp>(*this);
@@ -97,15 +148,18 @@ class AddOp final : public OperatorImpl {
  public:
   void process(std::size_t port, const Frame& in, Context& ctx) override {
     WB_REQUIRE(port < 2, "AddOp has two ports");
-    pending_[port].push_back(in.samples());
-    auto& m = ctx.meter();
-    m.charge_mem(in.wire_bytes());
+    pending_[port].push(in.samples());
+    auto* m = ctx.cost_meter();
+    if (m) m->charge_mem(in.wire_bytes());
     while (!pending_[0].empty() && !pending_[1].empty()) {
-      auto a = std::move(pending_[0].front());
-      pending_[0].pop_front();
-      auto b = std::move(pending_[1].front());
-      pending_[1].pop_front();
-      ctx.emit(Frame(dsp::add_frames(a, b, &m), Encoding::kInt16));
+      const std::vector<float>& a = pending_[0].front();
+      const std::vector<float>& b = pending_[1].front();
+      std::vector<float> out = ctx.get_buffer(std::min(a.size(), b.size()));
+      dsp::add_frames_into(dsp::SignalView(a), dsp::SignalView(b),
+                           dsp::MutSignalView(out), m);
+      pending_[0].pop();
+      pending_[1].pop();
+      ctx.emit(Frame(std::move(out), Encoding::kInt16));
     }
   }
   [[nodiscard]] std::unique_ptr<OperatorImpl> clone() const override {
@@ -117,7 +171,7 @@ class AddOp final : public OperatorImpl {
   }
 
  private:
-  std::deque<std::vector<float>> pending_[2];
+  FrameFifo pending_[2];
 };
 
 /// MagWithScale of Fig. 1: scaled mean magnitude of the band signal.
@@ -125,8 +179,10 @@ class MagScaleOp final : public OperatorImpl {
  public:
   explicit MagScaleOp(float gain) : gain_(gain) {}
   void process(std::size_t, const Frame& in, Context& ctx) override {
-    ctx.emit(Frame({dsp::mag_with_scale(in.samples(), gain_, &ctx.meter())},
-                   Encoding::kFloat32));
+    std::vector<float> out = ctx.get_buffer(1);
+    out[0] = dsp::mag_with_scale(dsp::SignalView(in.samples()), gain_,
+                                 ctx.cost_meter());
+    ctx.emit(Frame(std::move(out), Encoding::kFloat32));
   }
   [[nodiscard]] std::unique_ptr<OperatorImpl> clone() const override {
     return std::make_unique<MagScaleOp>(*this);
@@ -141,8 +197,10 @@ class EnergyOp final : public OperatorImpl {
  public:
   void process(std::size_t, const Frame& in, Context& ctx) override {
     WB_REQUIRE(!in.empty(), "energy: empty frame");
-    ctx.meter().charge_float(1);
-    ctx.emit(Frame({in[0] * in[0]}, Encoding::kFloat32));
+    if (auto* m = ctx.cost_meter()) m->charge_float(1);
+    std::vector<float> out = ctx.get_buffer(1);
+    out[0] = in[0] * in[0];
+    ctx.emit(Frame(std::move(out), Encoding::kFloat32));
   }
   [[nodiscard]] std::unique_ptr<OperatorImpl> clone() const override {
     return std::make_unique<EnergyOp>(*this);
@@ -157,8 +215,10 @@ class SmoothOp final : public OperatorImpl {
     WB_REQUIRE(!in.empty(), "smooth: empty frame");
     state_ = seen_ ? alpha_ * state_ + (1.0f - alpha_) * in[0] : in[0];
     seen_ = true;
-    ctx.meter().charge_float(3);
-    ctx.emit(Frame({state_}, Encoding::kFloat32));
+    if (auto* m = ctx.cost_meter()) m->charge_float(3);
+    std::vector<float> out = ctx.get_buffer(1);
+    out[0] = state_;
+    ctx.emit(Frame(std::move(out), Encoding::kFloat32));
   }
   [[nodiscard]] std::unique_ptr<OperatorImpl> clone() const override {
     return std::make_unique<SmoothOp>(*this);
@@ -180,18 +240,25 @@ class ZipOp final : public OperatorImpl {
   explicit ZipOp(std::size_t ports) : pending_(ports) {}
   void process(std::size_t port, const Frame& in, Context& ctx) override {
     WB_REQUIRE(port < pending_.size(), "zip: port out of range");
-    pending_[port].push_back(in.samples());
-    ctx.meter().charge_mem(in.wire_bytes());
+    pending_[port].push(in.samples());
+    auto* m = ctx.cost_meter();
+    if (m) m->charge_mem(in.wire_bytes());
     for (;;) {
+      std::size_t total = 0;
       for (const auto& q : pending_) {
         if (q.empty()) return;
+        total += q.front().size();
       }
-      std::vector<float> joined;
+      std::vector<float> joined = ctx.get_buffer(total);
+      std::size_t off = 0;
       for (auto& q : pending_) {
-        joined.insert(joined.end(), q.front().begin(), q.front().end());
-        q.pop_front();
+        const std::vector<float>& head = q.front();
+        std::copy(head.begin(), head.end(),
+                  joined.begin() + static_cast<std::ptrdiff_t>(off));
+        off += head.size();
+        q.pop();
       }
-      ctx.meter().charge_mem(4 * joined.size());
+      if (m) m->charge_mem(4 * total);
       ctx.emit(Frame(std::move(joined), Encoding::kFloat32));
     }
   }
@@ -203,7 +270,7 @@ class ZipOp final : public OperatorImpl {
   }
 
  private:
-  std::vector<std::deque<std::vector<float>>> pending_;
+  std::vector<FrameFifo> pending_;
 };
 
 /// Per-channel feature normalization.
@@ -211,9 +278,9 @@ class NormalizeOp final : public OperatorImpl {
  public:
   explicit NormalizeOp(float scale) : scale_(scale) {}
   void process(std::size_t, const Frame& in, Context& ctx) override {
-    std::vector<float> out(in.size());
+    std::vector<float> out = ctx.get_buffer(in.size());
     for (std::size_t i = 0; i < in.size(); ++i) out[i] = scale_ * in[i];
-    ctx.meter().charge_float(in.size());
+    if (auto* m = ctx.cost_meter()) m->charge_float(in.size());
     ctx.emit(Frame(std::move(out), Encoding::kFloat32));
   }
   [[nodiscard]] std::unique_ptr<OperatorImpl> clone() const override {
@@ -235,8 +302,12 @@ class SvmOp final : public OperatorImpl {
       : svm_(std::vector<float>(dim, 1.0f),
              /*bias=*/-800.0f * static_cast<float>(dim)) {}
   void process(std::size_t, const Frame& in, Context& ctx) override {
-    const float d = svm_.decision(in.samples(), &ctx.meter());
-    ctx.emit(Frame({d > 0.0f ? 1.0f : 0.0f, d}, Encoding::kFloat32));
+    const float d = svm_.decision(dsp::SignalView(in.samples()),
+                                  ctx.cost_meter());
+    std::vector<float> out = ctx.get_buffer(2);
+    out[0] = d > 0.0f ? 1.0f : 0.0f;
+    out[1] = d;
+    ctx.emit(Frame(std::move(out), Encoding::kFloat32));
   }
   [[nodiscard]] std::unique_ptr<OperatorImpl> clone() const override {
     return std::make_unique<SvmOp>(*this);
@@ -252,14 +323,16 @@ class SeizureDetectOp final : public OperatorImpl {
   SeizureDetectOp() : det_(3) {}
   void process(std::size_t, const Frame& in, Context& ctx) override {
     WB_REQUIRE(!in.empty(), "detect: empty frame");
-    ctx.meter().charge_int(2);
+    if (auto* m = ctx.cost_meter()) m->charge_int(2);
     const bool fired = det_.feed(in[0] > 0.5f);
     // Forward the SVM margin so downstream consumers (and tests) can
     // inspect classifier confidence alongside the declaration.
     const float margin = in.size() > 1 ? in[1] : 0.0f;
-    ctx.emit(Frame({fired ? 1.0f : 0.0f,
-                    static_cast<float>(det_.run_length()), margin},
-                   Encoding::kFloat32));
+    std::vector<float> out = ctx.get_buffer(3);
+    out[0] = fired ? 1.0f : 0.0f;
+    out[1] = static_cast<float>(det_.run_length());
+    out[2] = margin;
+    ctx.emit(Frame(std::move(out), Encoding::kFloat32));
   }
   [[nodiscard]] std::unique_ptr<OperatorImpl> clone() const override {
     return std::make_unique<SeizureDetectOp>(*this);

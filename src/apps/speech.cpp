@@ -30,10 +30,13 @@ constexpr double kSampleRate = 8000.0;
 class WindowOp final : public OperatorImpl {
  public:
   void process(std::size_t, const Frame& in, Context& ctx) override {
-    auto& m = ctx.meter();
-    m.charge_mem(2 * in.wire_bytes());
-    m.charge_int(in.size());
-    ctx.emit(Frame(in.samples(), Encoding::kInt16));
+    if (auto* m = ctx.cost_meter()) {
+      m->charge_mem(2 * in.wire_bytes());
+      m->charge_int(in.size());
+    }
+    std::vector<float> out = ctx.get_buffer(in.size());
+    std::copy(in.samples().begin(), in.samples().end(), out.begin());
+    ctx.emit(Frame(std::move(out), Encoding::kInt16));
   }
   [[nodiscard]] std::unique_ptr<OperatorImpl> clone() const override {
     return std::make_unique<WindowOp>(*this);
@@ -44,7 +47,9 @@ class WindowOp final : public OperatorImpl {
 class PreemphOp final : public OperatorImpl {
  public:
   void process(std::size_t, const Frame& in, Context& ctx) override {
-    auto out = dsp::preemphasis(in.samples(), 0.97f, prev_, &ctx.meter());
+    std::vector<float> out = ctx.get_buffer(in.size());
+    dsp::preemphasis_into(dsp::SignalView(in.samples()), 0.97f, prev_,
+                          dsp::MutSignalView(out), ctx.cost_meter());
     ctx.emit(Frame(std::move(out), Encoding::kInt16));
   }
   [[nodiscard]] std::unique_ptr<OperatorImpl> clone() const override {
@@ -61,8 +66,11 @@ class HammingOp final : public OperatorImpl {
   HammingOp() : window_(dsp::hamming_window(kFrameSamples)) {}
   void process(std::size_t, const Frame& in, Context& ctx) override {
     WB_REQUIRE(in.size() == kFrameSamples, "hamming: bad frame size");
-    ctx.emit(Frame(dsp::apply_window(in.samples(), window_, &ctx.meter()),
-                   Encoding::kInt16));
+    std::vector<float> out = ctx.get_buffer(in.size());
+    dsp::apply_window_into(dsp::SignalView(in.samples()),
+                           dsp::SignalView(window_),
+                           dsp::MutSignalView(out), ctx.cost_meter());
+    ctx.emit(Frame(std::move(out), Encoding::kInt16));
   }
   [[nodiscard]] std::unique_ptr<OperatorImpl> clone() const override {
     return std::make_unique<HammingOp>(*this);
@@ -76,8 +84,10 @@ class HammingOp final : public OperatorImpl {
 class PrefiltOp final : public OperatorImpl {
  public:
   void process(std::size_t, const Frame& in, Context& ctx) override {
-    ctx.emit(Frame(dsp::zero_pad(in.samples(), kFftSize, &ctx.meter()),
-                   Encoding::kInt16));
+    std::vector<float> out = ctx.get_buffer(kFftSize);
+    dsp::zero_pad_into(dsp::SignalView(in.samples()),
+                       dsp::MutSignalView(out), ctx.cost_meter());
+    ctx.emit(Frame(std::move(out), Encoding::kInt16));
   }
   [[nodiscard]] std::unique_ptr<OperatorImpl> clone() const override {
     return std::make_unique<PrefiltOp>(*this);
@@ -88,20 +98,28 @@ class FftOp final : public OperatorImpl {
  public:
   void process(std::size_t, const Frame& in, Context& ctx) override {
     WB_REQUIRE(in.size() == kFftSize, "fft: bad frame size");
-    ctx.emit(Frame(dsp::power_spectrum(in.samples(), &ctx.meter()),
-                   Encoding::kFloat32));
+    std::vector<float> out = ctx.get_buffer(kFftSize / 2 + 1);
+    dsp::power_spectrum_into(dsp::SignalView(in.samples()),
+                             dsp::MutSignalView(out), scratch_,
+                             ctx.cost_meter());
+    ctx.emit(Frame(std::move(out), Encoding::kFloat32));
   }
   [[nodiscard]] std::unique_ptr<OperatorImpl> clone() const override {
     return std::make_unique<FftOp>(*this);
   }
+
+ private:
+  dsp::SpectrumScratch scratch_;  ///< complex frame, reused every event
 };
 
 class FilterBankOp final : public OperatorImpl {
  public:
   FilterBankOp() : bank_(kMelFilters, kFftSize / 2 + 1, kSampleRate) {}
   void process(std::size_t, const Frame& in, Context& ctx) override {
-    ctx.emit(Frame(bank_.apply(in.samples(), &ctx.meter()),
-                   Encoding::kFloat32));
+    std::vector<float> out = ctx.get_buffer(kMelFilters);
+    bank_.apply_into(dsp::SignalView(in.samples()), dsp::MutSignalView(out),
+                     ctx.cost_meter());
+    ctx.emit(Frame(std::move(out), Encoding::kFloat32));
   }
   [[nodiscard]] std::unique_ptr<OperatorImpl> clone() const override {
     return std::make_unique<FilterBankOp>(*this);
@@ -114,8 +132,10 @@ class FilterBankOp final : public OperatorImpl {
 class LogsOp final : public OperatorImpl {
  public:
   void process(std::size_t, const Frame& in, Context& ctx) override {
-    ctx.emit(Frame(dsp::log_compress(in.samples(), &ctx.meter()),
-                   Encoding::kFloat32));
+    std::vector<float> out = ctx.get_buffer(in.size());
+    dsp::log_compress_into(dsp::SignalView(in.samples()),
+                           dsp::MutSignalView(out), ctx.cost_meter());
+    ctx.emit(Frame(std::move(out), Encoding::kFloat32));
   }
   [[nodiscard]] std::unique_ptr<OperatorImpl> clone() const override {
     return std::make_unique<LogsOp>(*this);
@@ -125,8 +145,10 @@ class LogsOp final : public OperatorImpl {
 class CepstralsOp final : public OperatorImpl {
  public:
   void process(std::size_t, const Frame& in, Context& ctx) override {
-    ctx.emit(Frame(dsp::dct_ii(in.samples(), kCepstra, &ctx.meter()),
-                   Encoding::kFloat32));
+    std::vector<float> out = ctx.get_buffer(kCepstra);
+    dsp::dct_ii_into(dsp::SignalView(in.samples()), dsp::MutSignalView(out),
+                     ctx.cost_meter());
+    ctx.emit(Frame(std::move(out), Encoding::kFloat32));
   }
   [[nodiscard]] std::unique_ptr<OperatorImpl> clone() const override {
     return std::make_unique<CepstralsOp>(*this);
@@ -141,15 +163,17 @@ class DetectOp final : public OperatorImpl {
  public:
   void process(std::size_t, const Frame& in, Context& ctx) override {
     WB_REQUIRE(!in.empty(), "detect: empty cepstral frame");
-    auto& m = ctx.meter();
-    m.charge_float(4);
+    if (auto* m = ctx.cost_meter()) m->charge_float(4);
     const float energy = in[0];
     // Adaptive noise floor: slow exponential tracker.
     floor_ = seen_ ? 0.995f * floor_ + 0.005f * energy : energy;
     seen_ = true;
     const bool speech = energy > floor_ + 2.0f;
     run_ = speech ? run_ + 1 : 0;
-    ctx.emit(Frame({run_ >= 3 ? 1.0f : 0.0f, energy}, Encoding::kFloat32));
+    std::vector<float> out = ctx.get_buffer(2);
+    out[0] = run_ >= 3 ? 1.0f : 0.0f;
+    out[1] = energy;
+    ctx.emit(Frame(std::move(out), Encoding::kFloat32));
   }
   [[nodiscard]] std::unique_ptr<OperatorImpl> clone() const override {
     return std::make_unique<DetectOp>(*this);

@@ -1,39 +1,95 @@
 #include "dsp/dct.hpp"
 
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <numbers>
+#include <utility>
 
+#include "dsp/simd.hpp"
 #include "util/assert.hpp"
 
 namespace wishbone::dsp {
 
-std::vector<float> dct_ii(const std::vector<float>& x, std::size_t num_coeffs,
-                          CostMeter* meter) {
-  WB_REQUIRE(!x.empty(), "dct_ii: empty input");
-  WB_REQUIRE(num_coeffs >= 1 && num_coeffs <= x.size(),
+namespace {
+
+/// Precomputed DCT-II basis: row k holds scale_k * cos(pi/n * (i+0.5) * k)
+/// for i in [0, n). Rows are computed in double and depend only on
+/// (k, n), so a (n, 5) table is a prefix of the (n, 13) one.
+struct DctPlan {
+  std::size_t n;
+  std::size_t num_coeffs;
+  std::vector<float> rows;  ///< num_coeffs * n, row-major
+
+  DctPlan(std::size_t n_in, std::size_t k_in) : n(n_in), num_coeffs(k_in) {
+    const double scale0 = std::sqrt(1.0 / static_cast<double>(n));
+    const double scale = std::sqrt(2.0 / static_cast<double>(n));
+    rows.resize(num_coeffs * n);
+    for (std::size_t k = 0; k < num_coeffs; ++k) {
+      const double s = k == 0 ? scale0 : scale;
+      for (std::size_t i = 0; i < n; ++i) {
+        rows[k * n + i] = static_cast<float>(
+            s * std::cos(std::numbers::pi / static_cast<double>(n) *
+                         (static_cast<double>(i) + 0.5) *
+                         static_cast<double>(k)));
+      }
+    }
+  }
+};
+
+std::shared_ptr<const DctPlan> dct_plan(std::size_t n, std::size_t k) {
+  static std::mutex mu;
+  static std::map<std::pair<std::size_t, std::size_t>,
+                  std::shared_ptr<const DctPlan>>
+      cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = cache[{n, k}];
+  if (!slot) slot = std::make_shared<const DctPlan>(n, k);
+  return slot;
+}
+
+/// Per-thread memo of the last plan: a streaming cepstral stage calls
+/// with the same (n, k) every frame, and for a 32 -> 13 DCT the
+/// mutex+map lookup rivals the arithmetic itself.
+const DctPlan& cached_dct_plan(std::size_t n, std::size_t k) {
+  thread_local std::shared_ptr<const DctPlan> last;
+  if (!last || last->n != n || last->num_coeffs != k) last = dct_plan(n, k);
+  return *last;
+}
+
+}  // namespace
+
+void dct_ii_into(SignalView x, MutSignalView out, CostMeter* meter) {
+  WB_REQUIRE(x.size() != 0, "dct_ii: empty input");
+  WB_REQUIRE(out.size() >= 1 && out.size() <= x.size(),
              "dct_ii: num_coeffs out of range");
   const std::size_t n = x.size();
-  const double scale0 = std::sqrt(1.0 / static_cast<double>(n));
-  const double scale = std::sqrt(2.0 / static_cast<double>(n));
-  std::vector<float> c(num_coeffs);
-  if (meter) meter->loop_begin();
-  for (std::size_t k = 0; k < num_coeffs; ++k) {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      acc += static_cast<double>(x[i]) *
-             std::cos(std::numbers::pi / static_cast<double>(n) *
-                      (static_cast<double>(i) + 0.5) * static_cast<double>(k));
-    }
-    c[k] = static_cast<float>((k == 0 ? scale0 : scale) * acc);
-    if (meter) {
+  const std::size_t num_coeffs = out.size();
+  const DctPlan& plan = cached_dct_plan(n, num_coeffs);
+  // One matvec call: the basis is a small dense matrix and the vector
+  // path shares the x loads across row pairs.
+  simd::matvec(plan.rows.data(), x.data(), n, num_coeffs, out.data());
+  // Charges reflect the per-element cos a mote would evaluate — the
+  // basis table is a host-side optimization the platform cost models
+  // must not see.
+  if (meter) {
+    meter->loop_begin();
+    for (std::size_t k = 0; k < num_coeffs; ++k) {
       meter->loop_iteration();
-      meter->charge_trans(n);      // one cos per input element
+      meter->charge_trans(n);          // one cos per input element
       meter->charge_float(3 * n + 2);  // angle mul, product, accumulate
       meter->charge_mem(4 * n);
       meter->charge_branch(n);
     }
+    meter->loop_end();
   }
-  if (meter) meter->loop_end();
+}
+
+std::vector<float> dct_ii(const std::vector<float>& x, std::size_t num_coeffs,
+                          CostMeter* meter) {
+  std::vector<float> c(num_coeffs);
+  dct_ii_into(SignalView(x), MutSignalView(c), meter);
   return c;
 }
 

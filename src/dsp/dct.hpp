@@ -1,19 +1,30 @@
 // DCT-II used to compute cepstral coefficients: the first 13 DCT
 // coefficients of the log mel spectrum are the MFCCs (§6.2.1).
+//
+// The cosine basis (with the orthonormal scale folded in) is
+// precomputed per (n, num_coeffs) and cached process-wide, so the
+// per-frame work is num_coeffs SIMD dot products — no trig. Basis rows
+// depend only on k and n, so truncated transforms stay bit-identical
+// prefixes of longer ones.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "dsp/signal_view.hpp"
 #include "graph/cost_meter.hpp"
 
 namespace wishbone::dsp {
 
 using graph::CostMeter;
 
-/// Computes the first `num_coeffs` coefficients of the orthonormal
-/// DCT-II of `x`. Direct O(n * num_coeffs) evaluation — this is the
+/// Computes the first out.size() coefficients of the orthonormal DCT-II
+/// of `x` into `out`. Direct O(n * num_coeffs) evaluation — this is the
 /// float-heavy `cepstrals` operator that dominates TMote cost (Fig. 8).
+/// Allocation-free in steady state (cached basis table).
+void dct_ii_into(SignalView x, MutSignalView out, CostMeter* meter = nullptr);
+
+/// Allocating wrapper around dct_ii_into.
 std::vector<float> dct_ii(const std::vector<float>& x, std::size_t num_coeffs,
                           CostMeter* meter = nullptr);
 

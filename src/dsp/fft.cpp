@@ -1,26 +1,90 @@
 #include "dsp/fft.hpp"
 
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <numbers>
 
+#include "dsp/simd.hpp"
 #include "util/assert.hpp"
 
 namespace wishbone::dsp {
 
 bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
-namespace {
-
-void fft_core(std::vector<std::complex<float>>& a, bool inverse,
-              CostMeter* meter) {
-  const std::size_t n = a.size();
+FftPlan::FftPlan(std::size_t n) : n_(n) {
   WB_REQUIRE(is_power_of_two(n), "FFT size must be a power of two");
+  levels_ = 0;
+  for (std::size_t m = n; m > 1; m >>= 1) ++levels_;
 
-  // Bit-reversal permutation.
+  bitrev_.resize(n);
+  bitrev_[0] = 0;
   for (std::size_t i = 1, j = 0; i < n; ++i) {
     std::size_t bit = n >> 1;
     for (; j & bit; bit >>= 1) j ^= bit;
     j ^= bit;
+    bitrev_[i] = static_cast<std::uint32_t>(j);
+  }
+
+  // Level l (0-based) has len = 2^(l+1) and len/2 twiddles
+  // w_k = exp(-2*pi*i*k/len); total = n - 1 complex values.
+  level_off_.resize(levels_);
+  std::size_t total = 0;
+  for (std::size_t l = 0; l < levels_; ++l) {
+    level_off_[l] = 2 * total;
+    total += (static_cast<std::size_t>(1) << l);
+  }
+  tw_fwd_.resize(2 * total);
+  tw_inv_.resize(2 * total);
+  for (std::size_t l = 0; l < levels_; ++l) {
+    const std::size_t half = static_cast<std::size_t>(1) << l;  // len/2
+    const double step = std::numbers::pi / static_cast<double>(half);
+    for (std::size_t k = 0; k < half; ++k) {
+      const double ang = step * static_cast<double>(k);
+      const float c = static_cast<float>(std::cos(ang));
+      const float s = static_cast<float>(std::sin(ang));
+      tw_fwd_[level_off_[l] + 2 * k] = c;
+      tw_fwd_[level_off_[l] + 2 * k + 1] = -s;
+      tw_inv_[level_off_[l] + 2 * k] = c;
+      tw_inv_[level_off_[l] + 2 * k + 1] = s;
+    }
+  }
+}
+
+std::shared_ptr<const FftPlan> fft_plan(std::size_t n) {
+  static std::mutex mu;
+  static std::map<std::size_t, std::shared_ptr<const FftPlan>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = cache[n];
+  if (!slot) slot = std::make_shared<const FftPlan>(n);
+  return slot;
+}
+
+namespace {
+
+/// Per-thread memo of the last plan used: streaming pipelines transform
+/// the same size every frame, and the mutex+map lookup costs more than
+/// the small levels of the transform itself.
+const FftPlan& cached_plan(std::size_t n) {
+  thread_local std::shared_ptr<const FftPlan> last;
+  if (!last || last->size() != n) last = fft_plan(n);
+  return *last;
+}
+
+}  // namespace
+
+/// Transform driver shared by the forward and inverse entry points.
+/// Meter charges reproduce the abstract-machine cost of the textbook
+/// loop (per-level twiddle trig, per-butterfly mul/add chain): the plan
+/// is a host-side optimization, but a mote running the generated C code
+/// would still pay the scalar price, and the platform cost models are
+/// calibrated against exactly these counts.
+void fft_run(const FftPlan& plan, std::complex<float>* a, bool inverse,
+             CostMeter* meter) {
+  const std::size_t n = plan.n_;
+  const std::uint32_t* rev = plan.bitrev_.data();
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = rev[i];
     if (i < j) std::swap(a[i], a[j]);
   }
   if (meter) {
@@ -28,25 +92,16 @@ void fft_core(std::vector<std::complex<float>>& a, bool inverse,
     meter->charge_mem(8 * n);
   }
 
+  float* f = reinterpret_cast<float*>(a);  // interleaved re,im
+  const std::vector<float>& tw = inverse ? plan.tw_inv_ : plan.tw_fwd_;
   if (meter) meter->loop_begin();
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang =
-        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
-    const std::complex<float> wlen(static_cast<float>(std::cos(ang)),
-                                   static_cast<float>(std::sin(ang)));
-    if (meter) meter->charge_trans(2);  // per-level twiddle cos+sin
-    for (std::size_t i = 0; i < n; i += len) {
-      std::complex<float> w(1.0f, 0.0f);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const std::complex<float> u = a[i + k];
-        const std::complex<float> v = a[i + k + len / 2] * w;
-        a[i + k] = u + v;
-        a[i + k + len / 2] = u - v;
-        w *= wlen;
-        if (meter) meter->loop_iteration();
-      }
-    }
+  for (std::size_t l = 0; l < plan.levels_; ++l) {
+    const std::size_t half = static_cast<std::size_t>(1) << l;  // len/2
+    const float* tw_l = tw.data() + plan.level_off_[l];
+    simd::fft_pass(f, tw_l, n, half);
     if (meter) {
+      meter->charge_trans(2);  // per-level twiddle cos+sin
+      meter->loop_iteration(n / 2);
       // Each butterfly: complex mul (6 flops) + 2 complex adds (4 flops)
       // + twiddle update (6 flops).
       meter->charge_float(16 * (n / 2));
@@ -58,47 +113,83 @@ void fft_core(std::vector<std::complex<float>>& a, bool inverse,
 
   if (inverse) {
     const float inv = 1.0f / static_cast<float>(n);
-    for (auto& x : a) x *= inv;
+    simd::scale(f, inv, f, 2 * n);
     if (meter) meter->charge_float(2 * n);
   }
 }
 
-}  // namespace
+void fft_inplace(const FftPlan& plan, std::complex<float>* a,
+                 CostMeter* meter) {
+  fft_run(plan, a, /*inverse=*/false, meter);
+}
+
+void ifft_inplace(const FftPlan& plan, std::complex<float>* a,
+                  CostMeter* meter) {
+  fft_run(plan, a, /*inverse=*/true, meter);
+}
 
 void fft_inplace(std::vector<std::complex<float>>& a, CostMeter* meter) {
-  fft_core(a, /*inverse=*/false, meter);
+  fft_run(cached_plan(a.size()), a.data(), /*inverse=*/false, meter);
 }
 
 void ifft_inplace(std::vector<std::complex<float>>& a, CostMeter* meter) {
-  fft_core(a, /*inverse=*/true, meter);
+  fft_run(cached_plan(a.size()), a.data(), /*inverse=*/true, meter);
 }
 
-std::vector<float> magnitude_spectrum(const std::vector<float>& x,
-                                      CostMeter* meter) {
-  std::vector<std::complex<float>> a(x.begin(), x.end());
-  fft_inplace(a, meter);
+namespace {
+
+/// Loads a real frame into the scratch complex buffer and transforms it.
+const std::complex<float>* real_fft(SignalView x, SpectrumScratch& scratch,
+                                    CostMeter* meter) {
+  const std::size_t n = x.size();
+  scratch.freq.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.freq[i] = {x[i], 0.0f};
+  }
+  fft_run(cached_plan(n), scratch.freq.data(), /*inverse=*/false, meter);
+  return scratch.freq.data();
+}
+
+}  // namespace
+
+void magnitude_spectrum_into(SignalView x, MutSignalView out,
+                             SpectrumScratch& scratch, CostMeter* meter) {
   const std::size_t half = x.size() / 2;
-  std::vector<float> mag(half + 1);
-  for (std::size_t k = 0; k <= half; ++k) mag[k] = std::abs(a[k]);
+  WB_REQUIRE(out.size() == half + 1, "magnitude_spectrum: bad output size");
+  const std::complex<float>* a = real_fft(x, scratch, meter);
+  for (std::size_t k = 0; k <= half; ++k) out[k] = std::abs(a[k]);
   if (meter) {
     meter->charge_trans(half + 1);  // one sqrt per bin
     meter->charge_float(3 * (half + 1));
     meter->charge_mem(12 * (half + 1));
   }
+}
+
+void power_spectrum_into(SignalView x, MutSignalView out,
+                         SpectrumScratch& scratch, CostMeter* meter) {
+  const std::size_t half = x.size() / 2;
+  WB_REQUIRE(out.size() == half + 1, "power_spectrum: bad output size");
+  const std::complex<float>* a = real_fft(x, scratch, meter);
+  for (std::size_t k = 0; k <= half; ++k) out[k] = std::norm(a[k]);
+  if (meter) {
+    meter->charge_float(3 * (half + 1));
+    meter->charge_mem(12 * (half + 1));
+  }
+}
+
+std::vector<float> magnitude_spectrum(const std::vector<float>& x,
+                                      CostMeter* meter) {
+  SpectrumScratch scratch;
+  std::vector<float> mag(x.size() / 2 + 1);
+  magnitude_spectrum_into(SignalView(x), MutSignalView(mag), scratch, meter);
   return mag;
 }
 
 std::vector<float> power_spectrum(const std::vector<float>& x,
                                   CostMeter* meter) {
-  std::vector<std::complex<float>> a(x.begin(), x.end());
-  fft_inplace(a, meter);
-  const std::size_t half = x.size() / 2;
-  std::vector<float> pow(half + 1);
-  for (std::size_t k = 0; k <= half; ++k) pow[k] = std::norm(a[k]);
-  if (meter) {
-    meter->charge_float(3 * (half + 1));
-    meter->charge_mem(12 * (half + 1));
-  }
+  SpectrumScratch scratch;
+  std::vector<float> pow(x.size() / 2 + 1);
+  power_spectrum_into(SignalView(x), MutSignalView(pow), scratch, meter);
   return pow;
 }
 

@@ -1,31 +1,83 @@
 // Radix-2 iterative FFT and power-spectrum helper (the FFT stage of the
 // MFCC pipeline, §6.2.1).
+//
+// The transform runs off a precomputed FftPlan (twiddle factors per
+// level + bit-reversal permutation), shared process-wide per size, so
+// the per-frame cost is butterflies only — no trig, no allocation.
+// Butterfly inner loops go through the SIMD shim (dsp/simd.hpp).
 #pragma once
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "dsp/signal_view.hpp"
 #include "graph/cost_meter.hpp"
 
 namespace wishbone::dsp {
 
 using graph::CostMeter;
 
-/// In-place radix-2 decimation-in-time FFT. Size must be a power of two.
+/// Precomputed tables for one FFT size: the bit-reversal permutation
+/// and, per butterfly level, interleaved (re,im) twiddles for the
+/// forward and inverse transforms. Immutable after construction;
+/// safe to share across threads.
+class FftPlan {
+ public:
+  explicit FftPlan(std::size_t n);  ///< n must be a power of two
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+ private:
+  friend void fft_run(const FftPlan&, std::complex<float>*, bool,
+                      CostMeter*);
+  std::size_t n_;
+  std::size_t levels_;
+  std::vector<std::uint32_t> bitrev_;   ///< bitrev_[i] = bit-reverse of i
+  std::vector<float> tw_fwd_;           ///< per-level tables, concatenated
+  std::vector<float> tw_inv_;
+  std::vector<std::size_t> level_off_;  ///< float offset of level l's table
+};
+
+/// Process-wide plan cache (mutex-guarded). Operators that transform on
+/// every frame should look their plan up once and keep the shared_ptr.
+[[nodiscard]] std::shared_ptr<const FftPlan> fft_plan(std::size_t n);
+
+/// In-place radix-2 decimation-in-time FFT over n interleaved complex
+/// samples using `plan` (plan.size() must equal n).
+void fft_inplace(const FftPlan& plan, std::complex<float>* a,
+                 CostMeter* meter = nullptr);
+void ifft_inplace(const FftPlan& plan, std::complex<float>* a,
+                  CostMeter* meter = nullptr);
+
+/// Convenience vector forms (plan looked up per call).
 void fft_inplace(std::vector<std::complex<float>>& a,
                  CostMeter* meter = nullptr);
-
-/// Inverse FFT (unscaled conjugate method divided by n).
 void ifft_inplace(std::vector<std::complex<float>>& a,
                   CostMeter* meter = nullptr);
 
-/// Real-input FFT magnitude spectrum: returns n/2+1 magnitudes for a
-/// real frame of power-of-two length n.
+/// Reusable workspace for the real-input spectrum helpers: holds the
+/// complex frame between calls so steady-state runs never allocate.
+struct SpectrumScratch {
+  std::vector<std::complex<float>> freq;
+};
+
+/// Real-input FFT magnitude spectrum into `out` (size n/2+1) for a real
+/// frame of power-of-two length n.
+void magnitude_spectrum_into(SignalView x, MutSignalView out,
+                             SpectrumScratch& scratch,
+                             CostMeter* meter = nullptr);
+
+/// Power spectrum |X[k]|^2 into `out` (size n/2+1).
+void power_spectrum_into(SignalView x, MutSignalView out,
+                         SpectrumScratch& scratch,
+                         CostMeter* meter = nullptr);
+
+/// Allocating wrappers around the _into forms.
 std::vector<float> magnitude_spectrum(const std::vector<float>& x,
                                       CostMeter* meter = nullptr);
-
-/// Power spectrum |X[k]|^2 for bins 0..n/2.
 std::vector<float> power_spectrum(const std::vector<float>& x,
                                   CostMeter* meter = nullptr);
 

@@ -1,11 +1,16 @@
 #include "dsp/fir.hpp"
 
+#include <algorithm>
+
+#include "dsp/simd.hpp"
 #include "util/assert.hpp"
 
 namespace wishbone::dsp {
 
 FirFilter::FirFilter(std::vector<float> coeffs)
-    : coeffs_(std::move(coeffs)), fifo_(coeffs_.size(), 0.0f) {
+    : coeffs_(std::move(coeffs)),
+      rev_coeffs_(coeffs_.rbegin(), coeffs_.rend()),
+      fifo_(coeffs_.size(), 0.0f) {
   WB_REQUIRE(!coeffs_.empty(), "FIR filter needs at least one tap");
 }
 
@@ -27,15 +32,52 @@ float FirFilter::step(float x, CostMeter* meter) {
   return acc;
 }
 
+void FirFilter::process_into(SignalView in, MutSignalView out,
+                             CostMeter* meter) {
+  WB_REQUIRE(out.size() == in.size(), "FIR process_into: size mismatch");
+  const std::size_t n = in.size();
+  const std::size_t taps = coeffs_.size();
+  const std::size_t hist = taps - 1;
+  // The meter sees the abstract per-sample FIFO loop of Fig. 1 — the
+  // same totals n calls to step() would charge.
+  if (meter) {
+    meter->loop_begin();
+    meter->loop_iteration(n);
+    meter->charge_float(2 * taps * n);
+    meter->charge_int(3 * taps * n);
+    meter->charge_mem(8 * taps * n);
+    meter->charge_branch(taps * n);
+    meter->loop_end();
+  }
+  if (n == 0) return;
+
+  if (hist == 0) {
+    simd::scale(in.data(), coeffs_[0], out.data(), n);
+    fifo_[0] = in[n - 1];
+    head_ = 0;
+    return;
+  }
+
+  // Linear scratch: the last `hist` inputs (chronological) followed by
+  // the frame; out[i] is then a dense dot with the reversed taps.
+  ext_.resize(hist + n);
+  for (std::size_t i = 0; i < hist; ++i) {
+    ext_[i] = fifo_[(head_ + 1 + i) % taps];
+  }
+  std::copy(in.begin(), in.end(), ext_.begin() + hist);
+  simd::fir_conv(ext_.data(), rev_coeffs_.data(), taps, out.data(), n);
+
+  // Refresh the FIFO with the last `taps` inputs, oldest at index 0.
+  for (std::size_t i = 0; i < taps; ++i) {
+    fifo_[i] = ext_[hist + n - taps + i];
+  }
+  head_ = 0;
+}
+
 std::vector<float> FirFilter::process(const std::vector<float>& frame,
                                       CostMeter* meter) {
   std::vector<float> out(frame.size());
-  if (meter) meter->loop_begin();
-  for (std::size_t i = 0; i < frame.size(); ++i) {
-    out[i] = step(frame[i], meter);
-    if (meter) meter->loop_iteration();
-  }
-  if (meter) meter->loop_end();
+  process_into(SignalView(frame), MutSignalView(out), meter);
   return out;
 }
 
@@ -46,46 +88,70 @@ void FirFilter::reset() {
 
 namespace {
 
-std::vector<float> take_parity(const std::vector<float>& x,
-                               std::size_t& phase, std::size_t want,
-                               CostMeter* meter) {
-  std::vector<float> out;
-  out.reserve(x.size() / 2 + 1);
-  for (float v : x) {
-    if (phase == want) out.push_back(v);
-    phase ^= 1;
+std::size_t take_parity_into(SignalView x, std::size_t& phase,
+                             std::size_t want, MutSignalView out,
+                             CostMeter* meter) {
+  WB_REQUIRE(out.size() >= x.size() / 2 + (phase == want ? x.size() % 2 : 0),
+             "take_parity: output too small");
+  std::size_t cnt = 0;
+  std::size_t p = phase;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (p == want) out[cnt++] = x[i];
+    p ^= 1;
   }
+  phase = p;
   if (meter) {
     meter->charge_int(2 * x.size());
-    meter->charge_mem(4 * (x.size() + out.size()));
+    meter->charge_mem(4 * (x.size() + cnt));
     meter->charge_branch(x.size());
   }
-  return out;
+  return cnt;
 }
 
 }  // namespace
 
+std::size_t take_even_into(SignalView x, std::size_t& phase,
+                           MutSignalView out, CostMeter* meter) {
+  return take_parity_into(x, phase, 0, out, meter);
+}
+
+std::size_t take_odd_into(SignalView x, std::size_t& phase,
+                          MutSignalView out, CostMeter* meter) {
+  return take_parity_into(x, phase, 1, out, meter);
+}
+
 std::vector<float> take_even(const std::vector<float>& x, std::size_t& phase,
                              CostMeter* meter) {
-  return take_parity(x, phase, 0, meter);
+  std::vector<float> out(x.size());
+  out.resize(take_even_into(SignalView(x), phase, MutSignalView(out), meter));
+  return out;
 }
 
 std::vector<float> take_odd(const std::vector<float>& x, std::size_t& phase,
                             CostMeter* meter) {
-  return take_parity(x, phase, 1, meter);
+  std::vector<float> out(x.size());
+  out.resize(take_odd_into(SignalView(x), phase, MutSignalView(out), meter));
+  return out;
 }
 
-std::vector<float> add_frames(const std::vector<float>& a,
-                              const std::vector<float>& b,
-                              CostMeter* meter) {
+std::size_t add_frames_into(SignalView a, SignalView b, MutSignalView out,
+                            CostMeter* meter) {
   const std::size_t n = std::min(a.size(), b.size());
-  std::vector<float> out(n);
-  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+  WB_REQUIRE(out.size() >= n, "add_frames: output too small");
+  simd::add(a.data(), b.data(), out.data(), n);
   if (meter) {
     meter->charge_float(n);
     meter->charge_mem(12 * n);
     meter->charge_branch(n);
   }
+  return n;
+}
+
+std::vector<float> add_frames(const std::vector<float>& a,
+                              const std::vector<float>& b,
+                              CostMeter* meter) {
+  std::vector<float> out(std::min(a.size(), b.size()));
+  add_frames_into(SignalView(a), SignalView(b), MutSignalView(out), meter);
   return out;
 }
 

@@ -1,10 +1,18 @@
 // FIR filtering with explicit FIFO state, mirroring the WaveScript
 // FIRFilter of Fig. 1 (the building block of the EEG wavelet cascade).
+//
+// Two execution paths share one canonical state (the circular FIFO):
+// step() is the sample-at-a-time Fig. 1 loop; process_into() runs a
+// whole frame through a linear [history | frame] scratch with the SIMD
+// convolution (vectorized across output samples, so even 4-tap filters
+// fill full vector lanes) and then refreshes the FIFO. The paths are
+// interchangeable mid-stream and agree to rounding.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "dsp/signal_view.hpp"
 #include "graph/cost_meter.hpp"
 
 namespace wishbone::dsp {
@@ -20,7 +28,13 @@ class FirFilter {
   /// Filters one sample.
   float step(float x, CostMeter* meter = nullptr);
 
-  /// Filters a whole frame (convenience; equivalent to repeated step()).
+  /// Filters a whole frame into `out` (same size as `in`; must not
+  /// alias). Allocation-free in steady state: the internal scratch
+  /// keeps its capacity across calls.
+  void process_into(SignalView in, MutSignalView out,
+                    CostMeter* meter = nullptr);
+
+  /// Filters a whole frame (allocating wrapper around process_into).
   std::vector<float> process(const std::vector<float>& frame,
                              CostMeter* meter = nullptr);
 
@@ -31,21 +45,34 @@ class FirFilter {
   [[nodiscard]] const std::vector<float>& coeffs() const { return coeffs_; }
 
  private:
-  std::vector<float> coeffs_;
-  std::vector<float> fifo_;  ///< circular buffer of past inputs
+  std::vector<float> coeffs_;      ///< coeffs_[0] applies to the newest sample
+  std::vector<float> rev_coeffs_;  ///< reversed, for the linear convolution
+  std::vector<float> fifo_;        ///< circular buffer of past inputs
+  std::vector<float> ext_;         ///< scratch: [history | frame]
   std::size_t head_ = 0;
 };
 
-/// Splits a frame into its even-indexed samples (GetEven in Fig. 1).
-/// `phase` tracks parity across frame boundaries for streaming use.
+/// Splits a frame into its even-indexed samples (GetEven in Fig. 1),
+/// writing into `out` (capacity >= in.size()); returns the count
+/// written. `phase` tracks parity across frame boundaries.
+std::size_t take_even_into(SignalView x, std::size_t& phase,
+                           MutSignalView out, CostMeter* meter = nullptr);
+/// Odd-indexed counterpart (GetOdd in Fig. 1).
+std::size_t take_odd_into(SignalView x, std::size_t& phase,
+                          MutSignalView out, CostMeter* meter = nullptr);
+
+/// Allocating wrappers.
 std::vector<float> take_even(const std::vector<float>& x, std::size_t& phase,
                              CostMeter* meter = nullptr);
-/// Odd-indexed counterpart (GetOdd in Fig. 1).
 std::vector<float> take_odd(const std::vector<float>& x, std::size_t& phase,
                             CostMeter* meter = nullptr);
 
-/// Elementwise sum of two frames, truncating to the shorter
-/// (AddOddAndEven in Fig. 1).
+/// Elementwise sum of two frames into `out`, truncating to the shorter
+/// (AddOddAndEven in Fig. 1); returns the count written. out.size()
+/// must be >= min(a.size(), b.size()).
+std::size_t add_frames_into(SignalView a, SignalView b, MutSignalView out,
+                            CostMeter* meter = nullptr);
+
 std::vector<float> add_frames(const std::vector<float>& a,
                               const std::vector<float>& b,
                               CostMeter* meter = nullptr);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "dsp/simd.hpp"
 #include "util/assert.hpp"
 
 namespace wishbone::dsp {
@@ -34,12 +35,13 @@ MelFilterbank::MelFilterbank(std::size_t num_filters, std::size_t num_bins,
   }
 
   const double hz_per_bin = nyquist / static_cast<double>(num_bins - 1);
-  filters_.resize(num_filters);
+  first_bin_.resize(num_filters);
+  weight_off_.resize(num_filters + 1);
   for (std::size_t f = 0; f < num_filters; ++f) {
+    weight_off_[f] = weights_.size();
     const double lo = centers_hz[f];
     const double mid = centers_hz[f + 1];
     const double hi = centers_hz[f + 2];
-    Filter filt;
     bool started = false;
     for (std::size_t b = 0; b < num_bins; ++b) {
       const double hz = static_cast<double>(b) * hz_per_bin;
@@ -49,56 +51,61 @@ MelFilterbank::MelFilterbank(std::size_t num_filters, std::size_t num_bins,
       }
       if (w > 0.0) {
         if (!started) {
-          filt.first_bin = b;
+          first_bin_[f] = b;
           started = true;
         }
-        filt.weights.push_back(static_cast<float>(w));
+        weights_.push_back(static_cast<float>(w));
       } else if (started) {
         break;
       }
     }
     // Very narrow filters can fall between bins; give them their nearest
     // bin so every filter contributes.
-    if (filt.weights.empty()) {
-      filt.first_bin = static_cast<std::size_t>(mid / hz_per_bin);
-      if (filt.first_bin >= num_bins) filt.first_bin = num_bins - 1;
-      filt.weights.push_back(1.0f);
+    if (weights_.size() == weight_off_[f]) {
+      first_bin_[f] = static_cast<std::size_t>(mid / hz_per_bin);
+      if (first_bin_[f] >= num_bins) first_bin_[f] = num_bins - 1;
+      weights_.push_back(1.0f);
     }
-    filters_[f] = std::move(filt);
+  }
+  weight_off_[num_filters] = weights_.size();
+}
+
+void MelFilterbank::apply_into(SignalView spectrum, MutSignalView out,
+                               CostMeter* meter) const {
+  WB_REQUIRE(spectrum.size() == num_bins_,
+             "mel filterbank: spectrum size mismatch");
+  WB_REQUIRE(out.size() == num_filters(),
+             "mel filterbank: output size mismatch");
+  // One dispatched call for the whole bank: the triangles are too short
+  // for per-filter dispatch to pay for itself.
+  simd::banded_dot(weights_.data(), weight_off_.data(), first_bin_.data(),
+                   num_filters(), spectrum.data(), out.data());
+  if (meter) {
+    meter->loop_begin();
+    for (std::size_t f = 0; f < num_filters(); ++f) {
+      const std::size_t len = weight_off_[f + 1] - weight_off_[f];
+      meter->loop_iteration();
+      meter->charge_float(2 * len);
+      meter->charge_mem(8 * len);
+      meter->charge_branch(len);
+    }
+    meter->loop_end();
   }
 }
 
 std::vector<float> MelFilterbank::apply(const std::vector<float>& spectrum,
                                         CostMeter* meter) const {
-  WB_REQUIRE(spectrum.size() == num_bins_,
-             "mel filterbank: spectrum size mismatch");
-  std::vector<float> out(filters_.size(), 0.0f);
-  if (meter) meter->loop_begin();
-  for (std::size_t f = 0; f < filters_.size(); ++f) {
-    const Filter& filt = filters_[f];
-    float acc = 0.0f;
-    for (std::size_t i = 0; i < filt.weights.size(); ++i) {
-      acc += filt.weights[i] * spectrum[filt.first_bin + i];
-    }
-    out[f] = acc;
-    if (meter) {
-      meter->loop_iteration();
-      meter->charge_float(2 * filt.weights.size());
-      meter->charge_mem(8 * filt.weights.size());
-      meter->charge_branch(filt.weights.size());
-    }
-  }
-  if (meter) meter->loop_end();
+  std::vector<float> out(num_filters());
+  apply_into(SignalView(spectrum), MutSignalView(out), meter);
   return out;
 }
 
-std::vector<float> log_compress(const std::vector<float>& x,
-                                CostMeter* meter) {
+void log_compress_into(SignalView x, MutSignalView out, CostMeter* meter) {
+  WB_REQUIRE(out.size() == x.size(), "log_compress: size mismatch");
   constexpr float kFloor = 1e-10f;
-  std::vector<float> y(x.size());
   if (meter) meter->loop_begin();
   for (std::size_t i = 0; i < x.size(); ++i) {
-    y[i] = std::log(x[i] > kFloor ? x[i] : kFloor);
+    out[i] = std::log(x[i] > kFloor ? x[i] : kFloor);
   }
   if (meter) {
     meter->loop_iteration(x.size());
@@ -107,6 +114,12 @@ std::vector<float> log_compress(const std::vector<float>& x,
     meter->charge_branch(x.size());
     meter->loop_end();
   }
+}
+
+std::vector<float> log_compress(const std::vector<float>& x,
+                                CostMeter* meter) {
+  std::vector<float> y(x.size());
+  log_compress_into(SignalView(x), MutSignalView(y), meter);
   return y;
 }
 

@@ -3,11 +3,16 @@
 // perception. With 32 filters over a 129-bin spectrum this is the 4x
 // data reduction the paper cites (400-byte raw frame -> 128-byte
 // filterbank frame).
+//
+// The triangles are stored in a flattened sparse layout (one contiguous
+// weight array + per-filter offset/first-bin tables) so apply_into() is
+// a run of dense SIMD dot products with no pointer chasing.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "dsp/signal_view.hpp"
 #include "graph/cost_meter.hpp"
 
 namespace wishbone::dsp {
@@ -22,11 +27,16 @@ class MelFilterbank {
   MelFilterbank(std::size_t num_filters, std::size_t num_bins,
                 double sample_rate_hz);
 
-  /// Applies the bank to a power (or magnitude) spectrum.
+  /// Applies the bank to a power (or magnitude) spectrum, writing one
+  /// energy per filter into `out` (size num_filters()). Allocation-free.
+  void apply_into(SignalView spectrum, MutSignalView out,
+                  CostMeter* meter = nullptr) const;
+
+  /// Allocating wrapper around apply_into.
   std::vector<float> apply(const std::vector<float>& spectrum,
                            CostMeter* meter = nullptr) const;
 
-  [[nodiscard]] std::size_t num_filters() const { return filters_.size(); }
+  [[nodiscard]] std::size_t num_filters() const { return first_bin_.size(); }
   [[nodiscard]] std::size_t num_bins() const { return num_bins_; }
 
   /// Mel scale conversions (public for tests).
@@ -34,16 +44,21 @@ class MelFilterbank {
   [[nodiscard]] static double mel_to_hz(double mel);
 
  private:
-  struct Filter {
-    std::size_t first_bin = 0;
-    std::vector<float> weights;  ///< weights for bins [first_bin, ...)
-  };
-  std::vector<Filter> filters_;
+  // Flattened sparse triangles: filter f covers spectrum bins
+  // [first_bin_[f], first_bin_[f] + len) where len =
+  // weight_off_[f + 1] - weight_off_[f], with weights at
+  // weights_[weight_off_[f]...].
+  std::vector<float> weights_;
+  std::vector<std::size_t> weight_off_;  ///< size num_filters + 1
+  std::vector<std::size_t> first_bin_;
   std::size_t num_bins_;
 };
 
 /// Elementwise log with floor (the `logs` stage). The floor avoids
 /// log(0) on silent frames.
+void log_compress_into(SignalView x, MutSignalView out,
+                       CostMeter* meter = nullptr);
+
 std::vector<float> log_compress(const std::vector<float>& x,
                                 CostMeter* meter = nullptr);
 

@@ -1,0 +1,81 @@
+// Non-owning views over contiguous sample storage — the DSPBB-style
+// Signal/SignalView split. Kernels compute on views and write into
+// caller-provided buffers, so the runtime can preallocate every buffer
+// once and stream frames with zero steady-state allocation (an embedded
+// mote and a high-throughput server want exactly the same discipline).
+//
+// A SignalView is two words (pointer + length). It makes NO alignment
+// promise: kernels use unaligned SIMD loads, so views may start at any
+// float boundary (e.g. a subview offset by one sample).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace wishbone::dsp {
+
+/// Read-only view of `size` floats starting at `data`.
+///
+/// Deliberately not default-constructible: functions overloaded on
+/// (SignalView) and (const std::vector<float>&) stay unambiguous for
+/// brace-initialized arguments, including `{}`.
+class SignalView {
+ public:
+  constexpr SignalView(const float* data, std::size_t size)
+      : data_(data), size_(size) {}
+  SignalView(const std::vector<float>& v) : data_(v.data()), size_(v.size()) {}
+
+  [[nodiscard]] constexpr const float* data() const { return data_; }
+  [[nodiscard]] constexpr std::size_t size() const { return size_; }
+  [[nodiscard]] constexpr bool empty() const { return size_ == 0; }
+  [[nodiscard]] constexpr float operator[](std::size_t i) const {
+    return data_[i];
+  }
+  [[nodiscard]] constexpr const float* begin() const { return data_; }
+  [[nodiscard]] constexpr const float* end() const { return data_ + size_; }
+
+  /// View of `count` samples starting at `offset` (must fit).
+  [[nodiscard]] SignalView subview(std::size_t offset,
+                                   std::size_t count) const {
+    WB_REQUIRE(offset + count <= size_, "subview out of range");
+    return SignalView(data_ + offset, count);
+  }
+
+ private:
+  const float* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Mutable view of `size` floats. Implicitly convertible to SignalView.
+class MutSignalView {
+ public:
+  constexpr MutSignalView() = default;
+  constexpr MutSignalView(float* data, std::size_t size)
+      : data_(data), size_(size) {}
+  MutSignalView(std::vector<float>& v) : data_(v.data()), size_(v.size()) {}
+
+  [[nodiscard]] constexpr float* data() const { return data_; }
+  [[nodiscard]] constexpr std::size_t size() const { return size_; }
+  [[nodiscard]] constexpr bool empty() const { return size_ == 0; }
+  [[nodiscard]] constexpr float& operator[](std::size_t i) const {
+    return data_[i];
+  }
+  [[nodiscard]] constexpr float* begin() const { return data_; }
+  [[nodiscard]] constexpr float* end() const { return data_ + size_; }
+
+  [[nodiscard]] MutSignalView subview(std::size_t offset,
+                                      std::size_t count) const {
+    WB_REQUIRE(offset + count <= size_, "subview out of range");
+    return MutSignalView(data_ + offset, count);
+  }
+
+  constexpr operator SignalView() const { return SignalView(data_, size_); }
+
+ private:
+  float* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace wishbone::dsp

@@ -1,5 +1,6 @@
 #include "dsp/svm.hpp"
 
+#include "dsp/simd.hpp"
 #include "util/assert.hpp"
 
 namespace wishbone::dsp {
@@ -9,11 +10,9 @@ LinearSvm::LinearSvm(std::vector<float> weights, float bias)
   WB_REQUIRE(!weights_.empty(), "SVM needs a non-empty weight vector");
 }
 
-float LinearSvm::decision(const std::vector<float>& x,
-                          CostMeter* meter) const {
+float LinearSvm::decision(SignalView x, CostMeter* meter) const {
   WB_REQUIRE(x.size() == weights_.size(), "SVM: feature dimension mismatch");
-  float acc = bias_;
-  for (std::size_t i = 0; i < x.size(); ++i) acc += weights_[i] * x[i];
+  const float acc = bias_ + simd::dot(weights_.data(), x.data(), x.size());
   if (meter) {
     meter->charge_float(2 * x.size() + 1);
     meter->charge_mem(8 * x.size());
@@ -22,8 +21,17 @@ float LinearSvm::decision(const std::vector<float>& x,
   return acc;
 }
 
-bool LinearSvm::predict(const std::vector<float>& x, CostMeter* meter) const {
+float LinearSvm::decision(const std::vector<float>& x,
+                          CostMeter* meter) const {
+  return decision(SignalView(x), meter);
+}
+
+bool LinearSvm::predict(SignalView x, CostMeter* meter) const {
   return decision(x, meter) > 0.0f;
+}
+
+bool LinearSvm::predict(const std::vector<float>& x, CostMeter* meter) const {
+  return decision(SignalView(x), meter) > 0.0f;
 }
 
 ConsecutiveDetector::ConsecutiveDetector(std::size_t required)

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "dsp/signal_view.hpp"
 #include "graph/cost_meter.hpp"
 
 namespace wishbone::dsp {
@@ -16,11 +17,13 @@ class LinearSvm {
  public:
   LinearSvm(std::vector<float> weights, float bias);
 
-  /// Signed decision value w·x + b.
+  /// Signed decision value w·x + b (SIMD dot; allocation-free).
+  [[nodiscard]] float decision(SignalView x, CostMeter* meter = nullptr) const;
   [[nodiscard]] float decision(const std::vector<float>& x,
                                CostMeter* meter = nullptr) const;
 
   /// Classification: decision > 0.
+  [[nodiscard]] bool predict(SignalView x, CostMeter* meter = nullptr) const;
   [[nodiscard]] bool predict(const std::vector<float>& x,
                              CostMeter* meter = nullptr) const;
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "dsp/simd.hpp"
 #include "util/assert.hpp"
 
 namespace wishbone::dsp {
@@ -33,31 +34,77 @@ PolyphaseStage::PolyphaseStage(const PolyphaseCoeffs& coeffs)
     : even_fir_(std::vector<float>(coeffs.even.begin(), coeffs.even.end())),
       odd_fir_(std::vector<float>(coeffs.odd.begin(), coeffs.odd.end())) {}
 
-std::vector<float> PolyphaseStage::process(const std::vector<float>& frame,
-                                           CostMeter* meter) {
-  std::vector<float> out;
-  out.reserve(frame.size() / 2 + 1);
-  if (meter) meter->loop_begin();
-  for (float x : frame) {
-    if (phase_ == 0) {
-      pending_ = even_fir_.step(x, meter);
-      has_pending_ = true;
-      phase_ = 1;
-    } else {
-      const float odd = odd_fir_.step(x, meter);
-      WB_ASSERT(has_pending_);
-      out.push_back(pending_ + odd);
-      has_pending_ = false;
-      phase_ = 0;
-      if (meter) meter->charge_float(1);
-    }
-    if (meter) meter->loop_iteration();
-  }
+std::size_t PolyphaseStage::process_into(SignalView frame, MutSignalView out,
+                                         CostMeter* meter) {
+  const std::size_t n = frame.size();
+  // Even-branch samples arrive at parity phase 0, odd-branch at phase 1;
+  // every odd-branch sample completes one output pair (the invariant
+  // has_pending_ <=> phase_ == 1 guarantees its partner exists).
+  const std::size_t ne = phase_ == 0 ? (n + 1) / 2 : n / 2;
+  const std::size_t no = n - ne;
+  const std::size_t cnt = no;
+  WB_REQUIRE(out.size() >= cnt, "polyphase: output too small");
+  // The meter sees the Fig. 1 per-sample loop: one 4-tap FIR step per
+  // sample plus one add per emitted pair — same totals as before the
+  // batch reformulation.
   if (meter) {
-    meter->charge_mem(4 * (frame.size() + out.size()));
-    meter->charge_branch(frame.size());
+    meter->loop_begin();
+    meter->loop_iteration(n);
+    meter->charge_float(8 * n + cnt);
+    meter->charge_int(12 * n);
+    meter->charge_mem(32 * n + 4 * (n + cnt));
+    meter->charge_branch(4 * n + n);
     meter->loop_end();
   }
+  if (n == 0) return 0;
+
+  even_in_.resize(ne);
+  odd_in_.resize(no);
+  std::size_t ie = 0;
+  std::size_t io = 0;
+  std::size_t p = phase_;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p == 0) {
+      even_in_[ie++] = frame[i];
+    } else {
+      odd_in_[io++] = frame[i];
+    }
+    p ^= 1;
+  }
+
+  even_out_.resize(ne);
+  odd_out_.resize(no);
+  even_fir_.process_into(SignalView(even_in_.data(), ne),
+                         MutSignalView(even_out_.data(), ne));
+  odd_fir_.process_into(SignalView(odd_in_.data(), no),
+                        MutSignalView(odd_out_.data(), no));
+
+  // Pair each pending even-branch value with the next odd-branch value.
+  if (has_pending_ && no > 0) {
+    out[0] = pending_ + odd_out_[0];
+    simd::add(even_out_.data(), odd_out_.data() + 1, out.data() + 1, no - 1);
+  } else {
+    simd::add(even_out_.data(), odd_out_.data(), out.data(), no);
+  }
+
+  // One pending may be left over: the last even-branch output (or the
+  // carried one, if this frame had no even samples).
+  const std::size_t leftover = (has_pending_ ? 1 : 0) + ne - no;
+  WB_ASSERT(leftover <= 1);
+  if (leftover == 1) {
+    if (ne > 0) pending_ = even_out_[ne - 1];
+    has_pending_ = true;
+  } else {
+    has_pending_ = false;
+  }
+  phase_ = p;
+  return cnt;
+}
+
+std::vector<float> PolyphaseStage::process(const std::vector<float>& frame,
+                                           CostMeter* meter) {
+  std::vector<float> out(frame.size() / 2 + 1);
+  out.resize(process_into(SignalView(frame), MutSignalView(out), meter));
   return out;
 }
 
@@ -69,11 +116,9 @@ void PolyphaseStage::reset() {
   has_pending_ = false;
 }
 
-float mag_with_scale(const std::vector<float>& frame, float gain,
-                     CostMeter* meter) {
+float mag_with_scale(SignalView frame, float gain, CostMeter* meter) {
   if (frame.empty()) return 0.0f;
-  float acc = 0.0f;
-  for (float x : frame) acc += std::fabs(x);
+  const float acc = simd::sum_abs(frame.data(), frame.size());
   if (meter) {
     meter->charge_float(2 * frame.size() + 2);
     meter->charge_mem(4 * frame.size());
@@ -82,16 +127,24 @@ float mag_with_scale(const std::vector<float>& frame, float gain,
   return gain * acc / static_cast<float>(frame.size());
 }
 
-float mean_energy(const std::vector<float>& frame, CostMeter* meter) {
+float mag_with_scale(const std::vector<float>& frame, float gain,
+                     CostMeter* meter) {
+  return mag_with_scale(SignalView(frame), gain, meter);
+}
+
+float mean_energy(SignalView frame, CostMeter* meter) {
   if (frame.empty()) return 0.0f;
-  float acc = 0.0f;
-  for (float x : frame) acc += x * x;
+  const float acc = simd::sum_sq(frame.data(), frame.size());
   if (meter) {
     meter->charge_float(2 * frame.size() + 1);
     meter->charge_mem(4 * frame.size());
     meter->charge_branch(frame.size());
   }
   return acc / static_cast<float>(frame.size());
+}
+
+float mean_energy(const std::vector<float>& frame, CostMeter* meter) {
+  return mean_energy(SignalView(frame), meter);
 }
 
 }  // namespace wishbone::dsp

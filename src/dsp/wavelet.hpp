@@ -3,6 +3,12 @@
 // each passed through a 4-tap FIR filter, and the two results summed —
 // one LowFreqFilter/HighFreqFilter stage of Fig. 1. Each stage halves
 // the data rate; the cascade runs 7 levels deep.
+//
+// process_into() runs the whole frame in three batch passes (parity
+// split, two SIMD FIR convolutions, SIMD pair-sum) over member scratch
+// buffers, so steady-state frames never allocate; the streaming state
+// (parity phase, FIR FIFOs, carried pending sample) is identical to the
+// sample-at-a-time formulation.
 #pragma once
 
 #include <array>
@@ -10,6 +16,7 @@
 #include <vector>
 
 #include "dsp/fir.hpp"
+#include "dsp/signal_view.hpp"
 #include "graph/cost_meter.hpp"
 
 namespace wishbone::dsp {
@@ -32,8 +39,15 @@ class PolyphaseStage {
  public:
   explicit PolyphaseStage(const PolyphaseCoeffs& coeffs);
 
+  /// Processes a frame into `out` (capacity >= frame.size()/2 + 1);
+  /// returns the count written. Allocation-free in steady state.
+  std::size_t process_into(SignalView frame, MutSignalView out,
+                           CostMeter* meter = nullptr);
+
+  /// Allocating wrapper around process_into.
   std::vector<float> process(const std::vector<float>& frame,
                              CostMeter* meter = nullptr);
+
   void reset();
 
  private:
@@ -42,14 +56,20 @@ class PolyphaseStage {
   std::size_t phase_ = 0;
   float pending_ = 0.0f;   ///< carries an unpaired sample across frames
   bool has_pending_ = false;
+  std::vector<float> even_in_;   ///< scratch: even-phase samples
+  std::vector<float> odd_in_;    ///< scratch: odd-phase samples
+  std::vector<float> even_out_;  ///< scratch: even-branch FIR output
+  std::vector<float> odd_out_;   ///< scratch: odd-branch FIR output
 };
 
 /// Scaled mean magnitude of a frame (MagWithScale in Fig. 1): the energy
 /// feature extracted from each high-frequency band.
+float mag_with_scale(SignalView frame, float gain, CostMeter* meter = nullptr);
 float mag_with_scale(const std::vector<float>& frame, float gain,
                      CostMeter* meter = nullptr);
 
 /// Mean energy (mean of squares) of a frame.
+float mean_energy(SignalView frame, CostMeter* meter = nullptr);
 float mean_energy(const std::vector<float>& frame,
                   CostMeter* meter = nullptr);
 

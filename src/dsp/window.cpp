@@ -1,20 +1,23 @@
 #include "dsp/window.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
+#include "dsp/simd.hpp"
 #include "util/assert.hpp"
 
 namespace wishbone::dsp {
 
-std::vector<float> preemphasis(const std::vector<float>& x, float alpha,
-                               float& prev, CostMeter* meter) {
-  std::vector<float> y(x.size());
+void preemphasis_into(SignalView x, float alpha, float& prev,
+                      MutSignalView out, CostMeter* meter) {
+  WB_REQUIRE(out.size() == x.size(), "preemphasis: size mismatch");
   if (meter) meter->loop_begin();
   float p = prev;
   for (std::size_t i = 0; i < x.size(); ++i) {
-    y[i] = x[i] - alpha * p;
-    p = x[i];
+    const float xi = x[i];  // read before write: out may alias x
+    out[i] = xi - alpha * p;
+    p = xi;
   }
   prev = p;
   if (meter) {
@@ -24,6 +27,12 @@ std::vector<float> preemphasis(const std::vector<float>& x, float alpha,
     meter->charge_branch(x.size());
     meter->loop_end();
   }
+}
+
+std::vector<float> preemphasis(const std::vector<float>& x, float alpha,
+                               float& prev, CostMeter* meter) {
+  std::vector<float> y(x.size());
+  preemphasis_into(SignalView(x), alpha, prev, MutSignalView(y), meter);
   return y;
 }
 
@@ -39,13 +48,12 @@ std::vector<float> hamming_window(std::size_t n) {
   return w;
 }
 
-std::vector<float> apply_window(const std::vector<float>& x,
-                                const std::vector<float>& w,
-                                CostMeter* meter) {
-  WB_REQUIRE(x.size() == w.size(), "apply_window: size mismatch");
-  std::vector<float> y(x.size());
+void apply_window_into(SignalView x, SignalView w, MutSignalView out,
+                       CostMeter* meter) {
+  WB_REQUIRE(x.size() == w.size() && out.size() == x.size(),
+             "apply_window: size mismatch");
   if (meter) meter->loop_begin();
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] * w[i];
+  simd::mul(x.data(), w.data(), out.data(), x.size());
   if (meter) {
     meter->loop_iteration(x.size());
     meter->charge_float(x.size());
@@ -53,39 +61,60 @@ std::vector<float> apply_window(const std::vector<float>& x,
     meter->charge_branch(x.size());
     meter->loop_end();
   }
+}
+
+std::vector<float> apply_window(const std::vector<float>& x,
+                                const std::vector<float>& w,
+                                CostMeter* meter) {
+  std::vector<float> y(x.size());
+  apply_window_into(SignalView(x), SignalView(w), MutSignalView(y), meter);
   return y;
 }
 
-std::vector<float> zero_pad(const std::vector<float>& x, std::size_t n,
-                            CostMeter* meter) {
-  std::vector<float> y(n, 0.0f);
+void zero_pad_into(SignalView x, MutSignalView out, CostMeter* meter) {
+  const std::size_t n = out.size();
   const std::size_t m = std::min(n, x.size());
-  for (std::size_t i = 0; i < m; ++i) y[i] = x[i];
+  std::copy(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(m),
+            out.begin());
+  std::fill(out.begin() + static_cast<std::ptrdiff_t>(m), out.end(), 0.0f);
   if (meter) {
     meter->charge_mem(4 * (n + m));
     meter->charge_int(n);
   }
+}
+
+std::vector<float> zero_pad(const std::vector<float>& x, std::size_t n,
+                            CostMeter* meter) {
+  std::vector<float> y(n);
+  zero_pad_into(SignalView(x), MutSignalView(y), meter);
   return y;
+}
+
+std::size_t decimate_into(SignalView x, std::size_t factor, MutSignalView out,
+                          CostMeter* meter) {
+  WB_REQUIRE(factor >= 1, "decimate: factor must be >= 1");
+  const std::size_t cnt = x.size() / factor;
+  WB_REQUIRE(out.size() >= cnt, "decimate: output too small");
+  if (meter) meter->loop_begin();
+  for (std::size_t o = 0; o < cnt; ++o) {
+    float acc = 0.0f;
+    for (std::size_t j = 0; j < factor; ++j) acc += x[o * factor + j];
+    out[o] = acc / static_cast<float>(factor);
+  }
+  if (meter) {
+    meter->loop_iteration(cnt);
+    meter->charge_float(x.size() + cnt);
+    meter->charge_mem(4 * (x.size() + cnt));
+    meter->charge_branch(x.size());
+    meter->loop_end();
+  }
+  return cnt;
 }
 
 std::vector<float> decimate(const std::vector<float>& x, std::size_t factor,
                             CostMeter* meter) {
-  WB_REQUIRE(factor >= 1, "decimate: factor must be >= 1");
-  std::vector<float> y;
-  y.reserve(x.size() / factor + 1);
-  if (meter) meter->loop_begin();
-  for (std::size_t i = 0; i + factor <= x.size(); i += factor) {
-    float acc = 0.0f;
-    for (std::size_t j = 0; j < factor; ++j) acc += x[i + j];
-    y.push_back(acc / static_cast<float>(factor));
-  }
-  if (meter) {
-    meter->loop_iteration(y.size());
-    meter->charge_float(x.size() + y.size());
-    meter->charge_mem(4 * (x.size() + y.size()));
-    meter->charge_branch(x.size());
-    meter->loop_end();
-  }
+  std::vector<float> y(factor >= 1 ? x.size() / factor : 0);
+  decimate_into(SignalView(x), factor, MutSignalView(y), meter);
   return y;
 }
 

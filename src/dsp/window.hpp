@@ -3,40 +3,57 @@
 //
 // Every routine optionally charges a CostMeter with the abstract
 // operations it performs, so that operators built on these primitives
-// are profiled without separate instrumentation.
+// are profiled without separate instrumentation. The _into forms write
+// into caller-owned buffers and are allocation-free.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "dsp/signal_view.hpp"
 #include "graph/cost_meter.hpp"
 
 namespace wishbone::dsp {
 
 using graph::CostMeter;
 
-/// First-order pre-emphasis filter y[n] = x[n] - alpha*x[n-1].
-/// `prev` carries the last sample of the previous frame (stateful across
-/// frames); pass 0 for the first frame.
+/// First-order pre-emphasis filter y[n] = x[n] - alpha*x[n-1] into
+/// `out` (same size as x; out may alias x). `prev` carries the last
+/// sample of the previous frame (stateful across frames); pass 0 for
+/// the first frame.
+void preemphasis_into(SignalView x, float alpha, float& prev,
+                      MutSignalView out, CostMeter* meter = nullptr);
+
 std::vector<float> preemphasis(const std::vector<float>& x, float alpha,
                                float& prev, CostMeter* meter = nullptr);
 
 /// Hamming window coefficients of length n.
 [[nodiscard]] std::vector<float> hamming_window(std::size_t n);
 
-/// Pointwise multiply of a frame by a window (sizes must match).
+/// Pointwise multiply of a frame by a window into `out` (sizes must
+/// match; out may alias x).
+void apply_window_into(SignalView x, SignalView w, MutSignalView out,
+                       CostMeter* meter = nullptr);
+
 std::vector<float> apply_window(const std::vector<float>& x,
                                 const std::vector<float>& w,
                                 CostMeter* meter = nullptr);
 
-/// Zero-pads (or truncates) x to length n — the `prefilt` conditioning
-/// stage that prepares a frame for a power-of-two FFT.
+/// Zero-pads (or truncates) x into `out` — the `prefilt` conditioning
+/// stage that prepares a frame for a power-of-two FFT. out must not
+/// alias x.
+void zero_pad_into(SignalView x, MutSignalView out, CostMeter* meter = nullptr);
+
 std::vector<float> zero_pad(const std::vector<float>& x, std::size_t n,
                             CostMeter* meter = nullptr);
 
-/// Low-pass + decimate by `factor` using a boxcar average; the TMote
+/// Low-pass + decimate by `factor` using a boxcar average into `out`
+/// (capacity >= x.size()/factor); returns the count written. The TMote
 /// audio board samples at 32 kS/s and decimates to 8 kS/s digitally
 /// (§6.2.3).
+std::size_t decimate_into(SignalView x, std::size_t factor, MutSignalView out,
+                          CostMeter* meter = nullptr);
+
 std::vector<float> decimate(const std::vector<float>& x, std::size_t factor,
                             CostMeter* meter = nullptr);
 

@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "graph/cost_meter.hpp"
 #include "graph/frame.hpp"
@@ -45,6 +46,21 @@ class Context {
 
   /// Abstract cost meter for the currently-running work function.
   virtual CostMeter& meter() = 0;
+
+  /// Nullable meter: the profiler returns its per-operator meter, while
+  /// a pure streaming runtime returns nullptr so work functions skip
+  /// all charging (and the meter's loop records cannot grow without
+  /// bound). Work functions should prefer this over meter().
+  [[nodiscard]] virtual CostMeter* cost_meter() { return &meter(); }
+
+  /// Acquires a float buffer of size `n` for building an output frame
+  /// (contents unspecified). The default allocates; pooled runtimes
+  /// recycle capacity from completed frames, making steady-state
+  /// emission allocation-free. Hand the buffer back by emitting it
+  /// inside a Frame.
+  [[nodiscard]] virtual std::vector<float> get_buffer(std::size_t n) {
+    return std::vector<float>(n);
+  }
 
   /// Identity of the physical node this instance runs on (0 on the
   /// server or in single-node profiling). Stateful operators relocated

@@ -1,5 +1,7 @@
 #include "runtime/executor.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace wishbone::runtime {
@@ -8,8 +10,12 @@ class PartitionedExecutor::Ctx final : public graph::Context {
  public:
   Ctx(PartitionedExecutor& ex, OperatorId op) : ex_(ex), op_(op) {}
 
-  void emit(Frame frame) override { ex_.route(op_, frame); }
+  void emit(Frame frame) override { ex_.route(op_, std::move(frame)); }
   graph::CostMeter& meter() override { return ex_.scratch_meter_; }
+  [[nodiscard]] graph::CostMeter* cost_meter() override { return nullptr; }
+  [[nodiscard]] std::vector<float> get_buffer(std::size_t n) override {
+    return ex_.pool_.acquire(n);
+  }
   [[nodiscard]] std::size_t node_id() const override { return 0; }
 
  private:
@@ -39,9 +45,11 @@ void PartitionedExecutor::set_loss_hook(
   loss_hook_ = std::move(hook);
 }
 
-void PartitionedExecutor::route(OperatorId from, const Frame& f) {
-  for (std::size_t ei : graph_.out_edges(from)) {
-    const graph::Edge& e = graph_.edges()[ei];
+void PartitionedExecutor::route(OperatorId from, Frame&& f) {
+  const std::vector<std::size_t>& out = graph_.out_edges(from);
+  for (std::size_t idx = 0; idx < out.size(); ++idx) {
+    const graph::Edge& e = graph_.edges()[out[idx]];
+    const bool last = idx + 1 == out.size();
     if (sides_[e.from] == Side::kNode && sides_[e.to] == Side::kServer) {
       // Cut edge: marshal, packetize, (maybe) lose, unmarshal.
       const std::vector<std::uint8_t> wire = marshal(f);
@@ -53,22 +61,31 @@ void PartitionedExecutor::route(OperatorId from, const Frame& f) {
         stats_.cut_frames_lost += 1;
         continue;
       }
-      const Frame rebuilt = unmarshal(reassemble(packets));
-      deliver(e.to, e.to_port, rebuilt);
+      deliver(e.to, e.to_port, unmarshal(reassemble(packets)));
+    } else if (last) {
+      // Local edge, sole remaining consumer: hand the frame over.
+      deliver(e.to, e.to_port, std::move(f));
     } else {
-      deliver(e.to, e.to_port, f);
+      // Fan-out: copy into pooled storage so the copy recycles too.
+      std::vector<float> buf = pool_.acquire(f.size());
+      std::copy(f.samples().begin(), f.samples().end(), buf.begin());
+      deliver(e.to, e.to_port, Frame(std::move(buf), f.encoding()));
     }
   }
+  // Reclaim whatever storage the frame still owns (not moved out, or
+  // the last edge was a cut edge).
+  pool_.release(std::move(f.samples()));
 }
 
 void PartitionedExecutor::deliver(OperatorId op, std::size_t port,
-                                  const Frame& f) {
+                                  Frame&& f) {
   if (graph_.info(op).is_sink) {
     if (sink_out_ != nullptr) (*sink_out_)[op].push_back(f);
     if (graph_.impl(op) != nullptr) {
       Ctx ctx(*this, op);
       graph_.impl(op)->process(port, f, ctx);
     }
+    pool_.release(std::move(f.samples()));
     return;
   }
   graph::OperatorImpl* impl = graph_.impl(op);
@@ -76,6 +93,7 @@ void PartitionedExecutor::deliver(OperatorId op, std::size_t port,
                                   "' has no implementation");
   Ctx ctx(*this, op);
   impl->process(port, f, ctx);
+  pool_.release(std::move(f.samples()));
 }
 
 std::map<OperatorId, std::vector<Frame>> PartitionedExecutor::run(
@@ -83,7 +101,7 @@ std::map<OperatorId, std::vector<Frame>> PartitionedExecutor::run(
     std::size_t num_events) {
   WB_REQUIRE(num_events > 0, "need at least one event");
   std::map<OperatorId, std::vector<Frame>> out;
-  sink_out_ = &out;
+  sink_out_ = collect_sink_ ? &out : nullptr;
   const auto sources = graph_.sources();
   for (OperatorId s : sources) {
     const auto it = traces.find(s);
@@ -94,7 +112,12 @@ std::map<OperatorId, std::vector<Frame>> PartitionedExecutor::run(
   for (std::size_t i = 0; i < num_events; ++i) {
     ++stats_.events;
     for (OperatorId s : sources) {
-      route(s, traces.at(s)[i]);
+      // Copy the (const) trace frame into pooled storage so the whole
+      // traversal runs on recycled buffers.
+      const Frame& src = traces.at(s)[i];
+      std::vector<float> buf = pool_.acquire(src.size());
+      std::copy(src.samples().begin(), src.samples().end(), buf.begin());
+      route(s, Frame(std::move(buf), src.encoding()));
     }
   }
   sink_out_ = nullptr;

@@ -6,6 +6,12 @@
 // tests can verify that the output of a partitioned program matches the
 // unpartitioned one — the repartitioning-correctness property Wishbone
 // relies on.
+//
+// Streaming is allocation-free in steady state: frames move (never
+// copy) along local edges, fan-out copies land in pooled buffers, and
+// every frame's storage returns to the pool after its consumer runs.
+// Operators cooperate by building outputs in ctx.get_buffer() storage.
+// The executor does not profile, so Context::cost_meter() is nullptr.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +22,7 @@
 #include "graph/frame.hpp"
 #include "graph/graph.hpp"
 #include "graph/operator.hpp"
+#include "runtime/buffer_pool.hpp"
 #include "runtime/marshal.hpp"
 
 namespace wishbone::runtime {
@@ -46,8 +53,13 @@ class PartitionedExecutor {
   /// loss upstream of relocated operators (§2.1.1).
   void set_loss_hook(std::function<bool(std::uint64_t)> hook);
 
+  /// When false, run() discards sink frames instead of collecting them
+  /// (pure streaming mode: nothing accumulates, nothing allocates per
+  /// event). Default true.
+  void set_collect_sink_output(bool collect) { collect_sink_ = collect; }
+
   /// Drives each source with one frame per event; returns the frames
-  /// that reached each sink.
+  /// that reached each sink (empty in streaming mode).
   std::map<OperatorId, std::vector<Frame>> run(
       const std::map<OperatorId, std::vector<Frame>>& traces,
       std::size_t num_events);
@@ -57,8 +69,8 @@ class PartitionedExecutor {
  private:
   class Ctx;
 
-  void deliver(OperatorId op, std::size_t port, const Frame& f);
-  void route(OperatorId from, const Frame& f);
+  void deliver(OperatorId op, std::size_t port, Frame&& f);
+  void route(OperatorId from, Frame&& f);
 
   Graph& graph_;
   std::vector<Side> sides_;
@@ -66,6 +78,8 @@ class PartitionedExecutor {
   std::function<bool(std::uint64_t)> loss_hook_;
   ExecStats stats_;
   graph::CostMeter scratch_meter_;  ///< executor does not profile
+  BufferPool pool_;                 ///< recycled frame storage
+  bool collect_sink_ = true;
   std::map<OperatorId, std::vector<Frame>>* sink_out_ = nullptr;
 };
 

@@ -1,0 +1,16 @@
+// Global heap-allocation counter, used to verify that steady-state
+// streaming does not allocate (the DSPBB/embedded discipline: all
+// buffers preallocated, frames recycled). Linking any translation unit
+// that references allocation_count() pulls in replacement global
+// operator new/delete that bump an atomic counter per allocation.
+#pragma once
+
+#include <cstdint>
+
+namespace wishbone::util {
+
+/// Number of global operator-new calls since process start (counts
+/// new, new[], and their nothrow/aligned forms).
+[[nodiscard]] std::uint64_t allocation_count();
+
+}  // namespace wishbone::util
