@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Diff a freshly emitted BENCH_serve.json against a reference snapshot.
+
+Usage:
+    check_serve_regression.py REFERENCE.json FRESH.json
+                              [--max-regression R] [--throughput MODE]
+
+Three layers of checks, strongest first (the fig6/stream convention):
+
+1. Serving contracts (always enforced, machine-independent):
+     - hit_speedup >= 5.0: a cache-hit re-solve must be at least 5x
+       faster than a cold solve, the acceptance bar for the service
+       layer existing at all;
+     - warm_basis_rejected == 0: the fleet's drift is uniform scaling,
+       which preserves ILP structure, so every donated basis must pass
+       the compatibility check — a rejection here means the structure
+       hash or the donor plumbing broke;
+     - allocs_per_hit <= reference * (1 + R): the hit path is a hash,
+       a cache lookup and a promise — it must not grow allocations.
+
+2. Cache effectiveness (enforced; deterministic workload): hit_rate
+   must stay within (1 - R) of the reference. The simulated fleet is
+   seeded, so the request stream is identical across runs and the hit
+   rate moves only if quantization, hashing, eviction, or coalescing
+   change behavior.
+
+3. Absolute throughput and latency (--throughput gate|report, default
+   gate): requests_per_sec and p99_us depend on the host — CI runs
+   this layer in report mode; the gate is for same-host comparisons.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("reference")
+    ap.add_argument("fresh")
+    ap.add_argument("--max-regression", type=float, default=0.10,
+                    help="allowed fractional drop vs reference (default 0.10)")
+    ap.add_argument("--throughput", choices=["gate", "report"],
+                    default="gate",
+                    help="whether absolute throughput/latency failures are "
+                         "fatal (default gate; use report across hosts)")
+    args = ap.parse_args()
+
+    ref = load(args.reference)
+    new = load(args.fresh)
+    floor = 1.0 - args.max_regression
+    failures = []
+
+    # ---- 1. serving contracts --------------------------------------
+    speedup = new.get("hit_speedup")
+    if speedup is None:
+        failures.append("missing hit_speedup in fresh run")
+    elif speedup < 5.0:
+        failures.append(
+            f"hit_speedup = {speedup:.2f}x, cache hits must be >= 5x "
+            f"faster than cold solves")
+    else:
+        print(f"ok: hit_speedup {speedup:.1f}x (>= 5x, reference "
+              f"{ref.get('hit_speedup', float('nan')):.1f}x)")
+
+    rejected = new.get("warm_basis_rejected")
+    if rejected is None:
+        failures.append("missing warm_basis_rejected in fresh run")
+    elif rejected != 0:
+        failures.append(
+            f"warm_basis_rejected = {rejected}, structure-preserving drift "
+            f"must never have its donor basis rejected")
+    else:
+        print("ok: warm_basis_rejected == 0")
+
+    ra, na = ref.get("allocs_per_hit"), new.get("allocs_per_hit")
+    if na is None:
+        failures.append("missing allocs_per_hit in fresh run")
+    elif ra is not None and na > ra * (1.0 + args.max_regression) + 1e-9:
+        failures.append(
+            f"allocs_per_hit grew: {na:.1f} vs reference {ra:.1f} "
+            f"(ceiling {ra * (1.0 + args.max_regression):.1f})")
+    else:
+        print(f"ok: allocs_per_hit {na:.1f} (reference {ra})")
+
+    # ---- 2. cache effectiveness ------------------------------------
+    rh, nh = ref.get("hit_rate"), new.get("hit_rate")
+    if nh is None:
+        failures.append("missing hit_rate in fresh run")
+    else:
+        status = "ok" if rh is None or nh >= rh * floor else "REGRESSION"
+        print(f"{status}: hit_rate reference {rh:.4f} fresh {nh:.4f}")
+        if rh is not None and nh < rh * floor:
+            failures.append(
+                f"hit_rate regressed: {nh:.4f} vs reference {rh:.4f} "
+                f"(floor {rh * floor:.4f})")
+
+    # ---- 3. absolute throughput / latency --------------------------
+    for key, higher_is_better in (("requests_per_sec", True),
+                                  ("p99_us", False)):
+        rv, nv = ref.get(key), new.get(key)
+        if rv is None or nv is None:
+            continue
+        ratio = (nv / rv) if higher_is_better else (rv / nv if nv else 0.0)
+        print(f"throughput: {key} reference {rv:.3g} fresh {nv:.3g} "
+              f"({ratio:.2f}x)")
+        if ratio < floor:
+            msg = (f"{key} regressed: {nv:.3g} vs reference {rv:.3g} "
+                   f"({ratio:.2f}x < {floor:.2f}x)")
+            if args.throughput == "gate":
+                failures.append(msg)
+            else:
+                print(f"warning (report-only): {msg}")
+
+    if failures:
+        print()
+        for f in failures:
+            print(f"FAIL: {f}")
+        sys.exit(1)
+    print("OK: no serving regression")
+
+
+if __name__ == "__main__":
+    main()

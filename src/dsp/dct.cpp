@@ -39,13 +39,23 @@ struct DctPlan {
 };
 
 std::shared_ptr<const DctPlan> dct_plan(std::size_t n, std::size_t k) {
+  // Same concurrency contract as fft_plan (dsp/fft.cpp): map access
+  // only under the mutex, immutable plans, basis construction outside
+  // the lock with first-inserter-wins on a same-key race. Safe for
+  // concurrent first use from the partition server's worker threads.
   static std::mutex mu;
   static std::map<std::pair<std::size_t, std::size_t>,
                   std::shared_ptr<const DctPlan>>
       cache;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find({n, k});
+    if (it != cache.end()) return it->second;
+  }
+  auto fresh = std::make_shared<const DctPlan>(n, k);
   std::lock_guard<std::mutex> lock(mu);
   auto& slot = cache[{n, k}];
-  if (!slot) slot = std::make_shared<const DctPlan>(n, k);
+  if (!slot) slot = std::move(fresh);
   return slot;
 }
 

@@ -52,11 +52,27 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
 }
 
 std::shared_ptr<const FftPlan> fft_plan(std::size_t n) {
+  // Concurrency contract (audited for the partition server, whose
+  // worker threads first-touch these tables while profiling the same
+  // graph concurrently): the map is only ever read or mutated under
+  // `mu`, and plans are immutable after construction, so any thread may
+  // call this at any time. The O(n log n) table build happens *outside*
+  // the lock — a server worker planning a 4096-point FFT must not
+  // serialize every other thread's 64-point lookup behind it. Two
+  // threads racing on the same fresh size build twice; the first
+  // inserter wins and the loser's copy is dropped (cheap, rare, and
+  // every caller still ends up sharing one plan per size).
   static std::mutex mu;
   static std::map<std::size_t, std::shared_ptr<const FftPlan>> cache;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(n);
+    if (it != cache.end()) return it->second;
+  }
+  auto fresh = std::make_shared<const FftPlan>(n);
   std::lock_guard<std::mutex> lock(mu);
   auto& slot = cache[n];
-  if (!slot) slot = std::make_shared<const FftPlan>(n);
+  if (!slot) slot = std::move(fresh);
   return slot;
 }
 

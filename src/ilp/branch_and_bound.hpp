@@ -133,6 +133,13 @@ struct MipResult {
   /// True when MipOptions::warm_basis was present, well-shaped, and
   /// factorized cleanly (false = the solve fell back to a cold basis).
   bool warm_basis_loaded = false;
+  /// True when MipOptions::warm_basis was present but failed the
+  /// pre-flight compatibility check (Basis::compatible_with: shape +
+  /// structure hash) — the inherited basis came from a *structurally
+  /// different* formulation and the solve cold-started instead of
+  /// loading it. Distinct from !warm_basis_loaded, which also covers
+  /// singular/degenerate factorization fallbacks of compatible bases.
+  bool warm_basis_rejected = false;
 
   /// Parallel-search telemetry: the worker count the solve actually ran
   /// with (MipOptions::threads == 0 resolved), one entry per worker,

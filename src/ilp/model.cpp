@@ -1,11 +1,28 @@
 #include "ilp/model.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
 #include "util/assert.hpp"
 
 namespace wishbone::ilp {
+
+namespace {
+
+/// splitmix64 finalizer: cheap, well-mixed 64-bit avalanche.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  return mix64(h ^ mix64(v));
+}
+
+}  // namespace
 
 int LinearProgram::add_variable(std::string name, double lower, double upper,
                                 double objective_coeff, bool is_integer) {
@@ -37,6 +54,25 @@ void LinearProgram::set_bounds(int v, double lower, double upper) {
   lower_[v] = lower;
   upper_[v] = upper;
   ++bounds_revision_;
+}
+
+std::uint64_t LinearProgram::structure_hash() const {
+  std::uint64_t h = hash_combine(0x57b0e6a1c3d2f4e5ull,
+                                 static_cast<std::uint64_t>(num_variables()));
+  h = hash_combine(h, static_cast<std::uint64_t>(constraints_.size()));
+  std::vector<int> idx;
+  for (const Constraint& c : constraints_) {
+    idx.clear();
+    for (const auto& [v, coeff] : c.terms) {
+      if (coeff != 0.0) idx.push_back(v);
+    }
+    std::sort(idx.begin(), idx.end());
+    idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
+    h = hash_combine(h, static_cast<std::uint64_t>(c.rel));
+    h = hash_combine(h, idx.size());
+    for (int v : idx) h = hash_combine(h, static_cast<std::uint64_t>(v));
+  }
+  return h == 0 ? 1 : h;  // reserve 0 for "unstamped"
 }
 
 double LinearProgram::objective_value(const std::vector<double>& x) const {

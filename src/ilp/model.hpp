@@ -48,6 +48,19 @@ class LinearProgram {
     return bounds_revision_;
   }
 
+  /// Fingerprint of the model's *structure*: variable count plus, per
+  /// constraint row in order, the relation and the sorted set of
+  /// variable indices carrying a nonzero coefficient. Deliberately
+  /// independent of coefficient values, right-hand sides, bounds and
+  /// names — a simplex basis extracted from one model is loadable into
+  /// any model with the same structure hash (same sparsity pattern,
+  /// same row/column meaning), which is exactly the "structurally
+  /// identical" contract of Basis. Duplicate mentions of a variable in
+  /// a row collapse to one (SimplexState coalesces them the same way);
+  /// zero coefficients are skipped (they never enter the working form's
+  /// numerics). Never returns 0, so 0 can serve as "unstamped".
+  [[nodiscard]] std::uint64_t structure_hash() const;
+
   [[nodiscard]] int num_variables() const { return static_cast<int>(lower_.size()); }
   [[nodiscard]] int num_constraints() const { return static_cast<int>(constraints_.size()); }
 

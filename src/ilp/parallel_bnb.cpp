@@ -112,6 +112,16 @@ class Search {
   Search(const LinearProgram& lp, const MipOptions& opts, int num_workers)
       : lp_(lp), opts_(opts), num_workers_(num_workers),
         cmp_{opts.depth_first}, n_(lp.num_variables()) {
+    // Pre-flight the inherited basis once, not once per worker: a
+    // basis threaded in from a previous solve (rate-search probe,
+    // partition-server cache neighbor) is only loadable when the
+    // formulation kept the same shape and constraint structure. An
+    // incompatible basis means a cold start, surfaced through
+    // MipResult::warm_basis_rejected so callers can count stale
+    // inherits instead of silently paying for N futile load attempts.
+    if (opts_.warm_basis && !opts_.warm_basis->empty()) {
+      warm_compatible_ = opts_.warm_basis->compatible_with(lp);
+    }
     root_lo_.resize(n_);
     root_hi_.resize(n_);
     for (int v = 0; v < n_; ++v) {
@@ -178,6 +188,8 @@ class Search {
     const int basis_from = has_inc_ && inc_worker_ >= 0 ? inc_worker_ : 0;
     res.final_basis = std::move(exits_[basis_from].final_basis);
     res.warm_basis_loaded = warm_loaded_;
+    res.warm_basis_rejected =
+        opts_.warm_basis && !opts_.warm_basis->empty() && !warm_compatible_;
     res.basis_engine = exits_[0].engine;
     for (const WorkerExit& e : exits_) {
       res.basis_refactorizations += e.refactorizations;
@@ -564,7 +576,7 @@ class Search {
   void run_worker(int w) {
     WorkerTelemetry& tel = tels_[w];
     WorkerContext ctx{SimplexState(lp_, opts_.lp), {}, {}};
-    if (opts_.warm_basis && !opts_.warm_basis->empty()) {
+    if (warm_compatible_ && opts_.warm_basis && !opts_.warm_basis->empty()) {
       // Every worker inherits the caller's basis: any of them may end
       // up solving the root (or an early steal) and the load is one
       // refactorization against a search of many node LPs.
@@ -637,6 +649,7 @@ class Search {
   std::vector<WorkerTelemetry> tels_;
   std::vector<WorkerExit> exits_;
   bool warm_loaded_ = false;
+  bool warm_compatible_ = true;
 };
 
 }  // namespace

@@ -10,7 +10,8 @@ namespace wishbone::ilp {
 SimplexState::SimplexState(const LinearProgram& lp,
                            const SimplexOptions& opts)
     : opts_(opts), n_struct_(lp.num_variables()),
-      m_(lp.num_constraints()), synced_revision_(lp.bounds_revision()) {
+      m_(lp.num_constraints()), structure_hash_(lp.structure_hash()),
+      synced_revision_(lp.bounds_revision()) {
   const int n_total = n_struct_ + m_;
   lo_.resize(n_total);
   up_.resize(n_total);
@@ -151,13 +152,36 @@ Basis SimplexState::extract_basis() const {
   Basis b;
   b.basic = basic_;
   b.at_upper.assign(at_upper_.begin(), at_upper_.end());
+  b.num_rows = m_;
+  b.num_structural = n_struct_;
+  b.structure_hash = structure_hash_;
+  b.bounds_revision = synced_revision_;
   return b;
+}
+
+bool Basis::compatible_with(const LinearProgram& lp) const {
+  if (static_cast<int>(basic.size()) != lp.num_constraints() ||
+      static_cast<int>(at_upper.size()) !=
+          lp.num_variables() + lp.num_constraints()) {
+    return false;
+  }
+  return !stamped() || structure_hash == lp.structure_hash();
 }
 
 bool SimplexState::load_basis(const Basis& basis) {
   const int n_total = n_struct_ + m_;
   if (static_cast<int>(basis.basic.size()) != m_ ||
       static_cast<int>(basis.at_upper.size()) != n_total) {
+    reset();
+    return false;
+  }
+  // A stamped basis must come from a structurally identical model:
+  // matching dimensions alone do not make row i's slack or column j's
+  // variable mean the same thing. Loading a structure-mismatched basis
+  // is never *unsound* (solve() re-repairs feasibility from any basis),
+  // but it installs garbage that phase 1 then grinds away from — the
+  // stale-warm-basis bug this check turns into an explicit cold start.
+  if (basis.stamped() && basis.structure_hash != structure_hash_) {
     reset();
     return false;
   }

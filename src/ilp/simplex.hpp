@@ -81,10 +81,40 @@ struct SimplexOptions {
 /// Valid across SimplexState instances of structurally identical models
 /// (same constraint rows and variable count), even when bounds or
 /// coefficients differ — loading refactorizes against the new matrix.
+///
+/// Bases extracted by SimplexState::extract_basis carry a provenance
+/// stamp: the source model's shape, structure hash (sparsity pattern,
+/// see LinearProgram::structure_hash) and bound revision at extraction.
+/// load_basis rejects a stamped basis whose structure does not match
+/// the target state — threading a basis between formulations that
+/// merely *happen* to share dimensions (a rate-search probe whose
+/// preprocessing merged differently, a cache-adjacent server request
+/// for a different graph) must fall back to a cold start instead of
+/// installing a basis whose rows and columns mean something else.
+/// Hand-built bases (structure_hash == 0) keep the legacy shape-only
+/// validation.
 struct Basis {
   std::vector<int> basic;              ///< size m (one variable per row)
   std::vector<std::uint8_t> at_upper;  ///< size n + m
+  int num_rows = 0;                    ///< m of the source model
+  int num_structural = 0;              ///< n of the source model
+  std::uint64_t structure_hash = 0;    ///< 0 = unstamped (hand-built)
+  /// Source model's LinearProgram::bounds_revision when extracted.
+  /// Informational: loading re-snaps nonbasic variables onto the target
+  /// state's *current* bounds, so a revision drift is survivable — but
+  /// callers chaining solves can compare it to decide whether the basis
+  /// is still fresh enough to be worth threading.
+  std::uint64_t bounds_revision = 0;
+
   [[nodiscard]] bool empty() const { return basic.empty(); }
+  [[nodiscard]] bool stamped() const { return structure_hash != 0; }
+
+  /// True when loading into a state built over `lp` can succeed: the
+  /// shape matches and, for a stamped basis, the constraint structure
+  /// does too. The cheap pre-flight check callers (branch and bound,
+  /// the rate search, the partition server) run before paying for a
+  /// SimplexState + refactorization.
+  [[nodiscard]] bool compatible_with(const LinearProgram& lp) const;
 };
 
 /// Persistent, re-enterable simplex working state over one model shape.
@@ -167,6 +197,7 @@ class SimplexState {
   const SimplexOptions opts_;
   const int n_struct_;
   const int m_;
+  const std::uint64_t structure_hash_;  ///< of the model built from
 
   std::vector<double> lo_, up_, cost_, b_;
   std::vector<std::vector<std::pair<int, double>>> cols_;

@@ -11,11 +11,15 @@ RateSearchResult max_sustainable_rate(
              "rate search: bad bracket");
   RateSearchResult res;
 
-  // Successive probes solve structurally identical ILPs (same graph,
-  // rescaled coefficients), so each solve inherits the previous probe's
-  // final simplex basis; loading costs one refactorization under the
-  // configured basis engine, and a shape mismatch (preprocessing merged
-  // differently at this rate) just falls back to a cold start.
+  // Successive probes usually solve structurally identical ILPs (same
+  // graph, rescaled coefficients), so each solve inherits the previous
+  // probe's final simplex basis; loading costs one refactorization
+  // under the configured basis engine. The solver pre-flights the
+  // inherited basis (Basis::compatible_with: shape + structure hash)
+  // and cold-starts when this rate's formulation differs — matching
+  // dimensions alone are not enough, since preprocessing can merge
+  // differently and resource rows can appear or vanish with the rate
+  // (probes_with_rejected_basis counts those stale inherits).
   ilp::Basis carried_basis;
   auto attempt = [&](double rate) {
     ++res.partitions_solved;
@@ -35,6 +39,7 @@ RateSearchResult max_sustainable_rate(
     res.total_snapshot_reloads += r.solver.snapshot_reloads;
     res.total_idle_s += r.solver.idle_s_total;
     if (r.solver.warm_basis_loaded) ++res.probes_with_inherited_basis;
+    if (r.solver.warm_basis_rejected) ++res.probes_with_rejected_basis;
     return r;
   };
 

@@ -36,6 +36,12 @@ struct RateSearchResult {
   /// Probes whose inherited basis actually factorized and was used
   /// (shape mismatches and singular inherits fall back cold).
   std::size_t probes_with_inherited_basis = 0;
+  /// Probes that *rejected* the inherited basis because the formulation
+  /// changed shape or constraint structure between rates (preprocessing
+  /// merged differently, a resource row appeared/vanished). Those
+  /// probes cold-start — the stale-basis compatibility check in
+  /// Basis::compatible_with / SimplexState::load_basis at work.
+  std::size_t probes_with_rejected_basis = 0;
   // Parallel-search totals across all probes (opts.partition.mip.threads
   // picks the worker count per solve; see MipOptions::threads).
   std::size_t total_steals = 0;

@@ -1,0 +1,248 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "serve/graph_hash.hpp"
+#include "util/assert.hpp"
+
+namespace wishbone::serve {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+/// One pending solve: the problem to run plus every promise waiting on
+/// it. waiters[0] is the request that created the batch (kSolved); the
+/// rest coalesced onto it (kCoalesced).
+struct PartitionServer::Batch {
+  partition::PartitionProblem problem;
+  CacheOutcome outcome = CacheOutcome::kMiss;  ///< at batch creation
+  std::vector<std::promise<SolveResponse>> waiters;
+};
+
+PartitionServer::PartitionServer(ServeOptions opts)
+    : opts_(opts), cache_(opts.cache_capacity) {
+  WB_REQUIRE(opts_.queue_capacity >= 1,
+             "PartitionServer: queue_capacity must be >= 1");
+  threads_.reserve(opts_.workers);
+  for (std::size_t i = 0; i < opts_.workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+PartitionServer::~PartitionServer() { stop(); }
+
+CacheKey PartitionServer::key_for(const SolveRequest& req) const {
+  CacheKey k;
+  k.graph_hash = req.graph_hash != 0 ? req.graph_hash
+                                     : canonical_problem_hash(req.problem);
+  k.platform_id = req.platform_id;
+  k.profile = quantize_profile(req.problem, opts_.profile_resolution);
+  return k;
+}
+
+std::future<SolveResponse> PartitionServer::submit(SolveRequest req) {
+  // submit() blocks for space, so it always yields a future.
+  std::optional<std::future<SolveResponse>> fut =
+      submit_impl(std::move(req), /*block=*/true);
+  WB_ASSERT(fut.has_value());
+  return std::move(*fut);
+}
+
+std::optional<std::future<SolveResponse>> PartitionServer::try_submit(
+    SolveRequest req) {
+  return submit_impl(std::move(req), /*block=*/false);
+}
+
+std::optional<std::future<SolveResponse>> PartitionServer::submit_impl(
+    SolveRequest req, bool block) {
+  CacheKey key = key_for(req);
+
+  // Fast path outside mu_: the cache has its own lock, and a hit never
+  // touches the queue.
+  CacheOutcome outcome = CacheOutcome::kMiss;
+  std::shared_ptr<const partition::PartitionResult> cached =
+      cache_.lookup(key, &outcome);
+
+  std::promise<SolveResponse> done;
+  std::future<SolveResponse> fut = done.get_future();
+
+  if (cached) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.requests;
+      ++stats_.cache_hits;
+    }
+    SolveResponse resp;
+    resp.result = std::move(cached);
+    resp.source = ResponseSource::kCacheHit;
+    resp.cache_outcome = CacheOutcome::kHit;
+    done.set_value(std::move(resp));
+    return fut;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.requests;
+  for (;;) {
+    if (stopping_) {
+      lock.unlock();
+      SolveResponse resp;
+      resp.result = std::make_shared<partition::PartitionResult>();
+      resp.source = ResponseSource::kShutdown;
+      resp.cache_outcome = outcome;
+      done.set_value(std::move(resp));
+      return fut;
+    }
+    // Coalesce: someone is already solving exactly this key (possibly a
+    // batch that appeared while we waited for queue space).
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      ++stats_.coalesced;
+      it->second->waiters.push_back(std::move(done));
+      return fut;
+    }
+    if (queue_.size() - queue_head_ < opts_.queue_capacity) break;
+    if (!block) {
+      ++stats_.rejected;
+      return std::nullopt;
+    }
+    space_cv_.wait(lock);
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->problem = std::move(req.problem);
+  batch->outcome = outcome;
+  batch->waiters.push_back(std::move(done));
+  inflight_.emplace(key, std::move(batch));
+  queue_.push_back(std::move(key));
+  lock.unlock();
+  work_cv_.notify_one();
+  return fut;
+}
+
+bool PartitionServer::run_one() {
+  CacheKey key;
+  std::shared_ptr<Batch> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_head_ == queue_.size()) return false;
+    key = std::move(queue_[queue_head_++]);
+    if (queue_head_ == queue_.size()) {
+      queue_.clear();
+      queue_head_ = 0;
+    }
+    auto it = inflight_.find(key);
+    WB_ASSERT(it != inflight_.end());
+    batch = it->second;
+  }
+  space_cv_.notify_one();
+
+  // Warm-basis reuse across cache-adjacent requests: the most recent
+  // final basis for this (graph, platform) pair, from any profile cell.
+  // It is stamped with its formulation's structure hash, so the solver
+  // validates compatibility (Basis::compatible_with) before loading and
+  // cold-starts on mismatch — e.g. when drift zeroed a bandwidth and
+  // changed the active constraint structure.
+  partition::PartitionOptions po = opts_.partition;
+  ilp::Basis donor = cache_.warm_basis_donor(key.graph_hash, key.platform_id);
+  if (!donor.empty()) po.mip.warm_basis = std::move(donor);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = std::make_shared<const partition::PartitionResult>(
+      partition::solve_partition(batch->problem, po));
+  const double solve_s = seconds_since(t0);
+
+  // Publish to the cache *before* retiring the in-flight entry so a
+  // concurrent submit for this key finds one or the other (a request in
+  // between would re-solve needlessly, never incorrectly).
+  cache_.insert(key, result);
+
+  std::vector<std::promise<SolveResponse>> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.solves;
+    if (batch->outcome == CacheOutcome::kStale) ++stats_.stale_resolves;
+    if (result->solver.warm_basis_loaded) ++stats_.warm_basis_used;
+    if (result->solver.warm_basis_rejected) ++stats_.warm_basis_rejected;
+    waiters = std::move(batch->waiters);
+    inflight_.erase(key);
+  }
+
+  SolveResponse proto;
+  proto.result = std::move(result);
+  proto.cache_outcome = batch->outcome;
+  proto.warm_basis_used = proto.result->solver.warm_basis_loaded;
+  proto.solve_s = solve_s;
+  for (std::size_t i = 0; i < waiters.size(); ++i) {
+    SolveResponse resp = proto;
+    resp.source = i == 0 ? ResponseSource::kSolved : ResponseSource::kCoalesced;
+    waiters[i].set_value(std::move(resp));
+  }
+  return true;
+}
+
+void PartitionServer::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock,
+                  [this] { return stopping_ || queue_head_ < queue_.size(); });
+    if (stopping_) return;
+    lock.unlock();
+    // May lose the race to a sibling worker and find the queue empty —
+    // that's fine, we just go back to waiting.
+    run_one();
+    lock.lock();
+  }
+}
+
+void PartitionServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+
+  // Workers finish the solve they were running before exiting, so the
+  // batches left in inflight_ are exactly the never-started ones.
+  std::vector<std::promise<SolveResponse>> flushed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [key, batch] : inflight_) {
+      for (std::promise<SolveResponse>& w : batch->waiters) {
+        flushed.push_back(std::move(w));
+      }
+    }
+    inflight_.clear();
+    queue_.clear();
+    queue_head_ = 0;
+    stats_.shutdown_flushed += flushed.size();
+  }
+  for (std::promise<SolveResponse>& w : flushed) {
+    SolveResponse resp;
+    resp.result = std::make_shared<partition::PartitionResult>();
+    resp.source = ResponseSource::kShutdown;
+    w.set_value(std::move(resp));
+  }
+}
+
+ServerStats PartitionServer::stats() const {
+  ServerStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = stats_;
+  }
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace wishbone::serve

@@ -1,0 +1,158 @@
+// Partitioning-as-a-service: a long-lived, in-process solve server in
+// front of partition::solve_partition (the ROADMAP's "millions of
+// users" step). A deployed fleet re-partitions continuously as
+// measured profiles drift; the server turns that stream of
+// near-identical ILP solves into:
+//
+//  - cache hits: an LRU of solved partitions keyed by (canonical graph
+//    hash, quantized profile cell, platform) answers repeats without
+//    touching the solver (serve/solve_cache.hpp);
+//  - coalesced solves: concurrent requests for the same key collapse
+//    onto one in-flight solve — every waiter gets the same result the
+//    moment it lands (the batcher);
+//  - warm-started re-solves: a drifted profile (stale cache outcome)
+//    re-solves, inheriting the most recent final simplex basis for its
+//    (graph, platform) pair the way rate_search threads a basis
+//    between probes. The donor basis is provenance-stamped and the
+//    solver validates structure compatibility before loading
+//    (ilp::Basis::compatible_with) — incompatible donors mean a cold
+//    solve, never a garbage basis.
+//
+// Concurrency model: submit() is safe from any thread. A bounded FIFO
+// of distinct keys feeds `workers` solver threads; each solve runs the
+// PR 3 parallel branch and bound with whatever MipOptions::threads the
+// caller configured, so total solver parallelism is workers x threads.
+// workers == 0 runs no threads — tests drain the queue deterministically
+// with run_one().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/solve_cache.hpp"
+
+namespace wishbone::serve {
+
+struct ServeOptions {
+  std::size_t workers = 2;           ///< solver threads (0 = manual run_one)
+  std::size_t queue_capacity = 256;  ///< bounded pending-solve queue
+  std::size_t cache_capacity = 4096; ///< LRU solved-partition entries
+  /// Relative profile quantization (graph_hash.hpp): profiles within
+  /// ~5% land in the same cache cell.
+  double profile_resolution = 0.05;
+  /// Forwarded to every solve_partition call; mip.threads picks the
+  /// per-solve branch-and-bound worker count.
+  partition::PartitionOptions partition;
+};
+
+struct SolveRequest {
+  partition::PartitionProblem problem;
+  std::string platform_id;  ///< cache key component (e.g. "tmote_sky")
+  /// Canonical hash of the *application graph* this problem came from.
+  /// 0 = derive canonical_problem_hash(problem) — fine when callers
+  /// submit the problem directly; callers that built the problem from a
+  /// graph::Graph should pass canonical_graph_hash(g) so structurally
+  /// equal apps share entries regardless of problem construction.
+  std::uint64_t graph_hash = 0;
+};
+
+enum class ResponseSource {
+  kCacheHit,   ///< answered from the LRU, no solve
+  kSolved,     ///< this request triggered the solve
+  kCoalesced,  ///< attached to another request's in-flight solve
+  kShutdown,   ///< server stopped before the solve ran
+};
+
+struct SolveResponse {
+  std::shared_ptr<const partition::PartitionResult> result;  ///< never null
+  ResponseSource source = ResponseSource::kSolved;
+  CacheOutcome cache_outcome = CacheOutcome::kMiss;
+  bool warm_basis_used = false;  ///< solve loaded a cache-adjacent basis
+  double solve_s = 0.0;          ///< wall seconds inside solve_partition
+};
+
+/// Aggregate server counters (monotone since construction).
+struct ServerStats {
+  std::size_t requests = 0;
+  std::size_t cache_hits = 0;
+  std::size_t coalesced = 0;
+  std::size_t solves = 0;
+  std::size_t stale_resolves = 0;     ///< solves triggered by drift
+  std::size_t warm_basis_used = 0;    ///< solves that loaded a donor basis
+  std::size_t warm_basis_rejected = 0;///< donors refused by the compat check
+  std::size_t rejected = 0;           ///< try_submit failures (queue full)
+  std::size_t shutdown_flushed = 0;   ///< queued jobs answered kShutdown
+  CacheStats cache;
+};
+
+class PartitionServer {
+ public:
+  explicit PartitionServer(ServeOptions opts = {});
+  ~PartitionServer();  ///< stop()s and joins
+
+  PartitionServer(const PartitionServer&) = delete;
+  PartitionServer& operator=(const PartitionServer&) = delete;
+
+  /// Submits a request; blocks while the solve queue is full. The
+  /// future resolves on a cache hit immediately, otherwise when the
+  /// (possibly coalesced) solve lands.
+  [[nodiscard]] std::future<SolveResponse> submit(SolveRequest req);
+
+  /// Non-blocking submit: std::nullopt when the queue is full (the
+  /// request was not accepted and no work was queued).
+  [[nodiscard]] std::optional<std::future<SolveResponse>> try_submit(
+      SolveRequest req);
+
+  /// Processes one queued solve on the calling thread. Returns false
+  /// when the queue is empty. The worker threads run exactly this;
+  /// tests with workers == 0 use it to drain deterministically.
+  bool run_one();
+
+  /// Stops the workers, joins them, and answers every still-queued job
+  /// with ResponseSource::kShutdown (result = infeasible placeholder).
+  /// Idempotent; called by the destructor.
+  void stop();
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] const ServeOptions& options() const { return opts_; }
+
+  /// The cache key this server derives for a request (exposed so tests
+  /// and benchmarks can reason about cells/adjacency).
+  [[nodiscard]] CacheKey key_for(const SolveRequest& req) const;
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+  /// Shared body of submit/try_submit; nullopt only when !block and the
+  /// queue is full.
+  std::optional<std::future<SolveResponse>> submit_impl(SolveRequest req,
+                                                        bool block);
+
+  ServeOptions opts_;
+  SolveCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers: queue non-empty or stop
+  std::condition_variable space_cv_;  ///< submitters: queue below capacity
+  std::vector<CacheKey> queue_;       ///< FIFO of keys awaiting a solve
+  std::size_t queue_head_ = 0;        ///< pop index (amortized O(1) FIFO)
+  std::unordered_map<CacheKey, std::shared_ptr<Batch>, CacheKeyHash>
+      inflight_;
+  bool stopping_ = false;
+
+  // Counters (under mu_).
+  ServerStats stats_;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace wishbone::serve
