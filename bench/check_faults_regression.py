@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Diff a freshly emitted BENCH_faults.json against a reference snapshot.
+
+Usage:
+    check_faults_regression.py REFERENCE.json FRESH.json
+                               [--max-regression R] [--latency MODE]
+
+Three layers of checks, strongest first (the fig6/stream/serve
+convention):
+
+1. Robustness contracts (always enforced, machine-independent):
+     - adaptive_gain >= 0.15: under the canonical fault schedule
+       (burst loss, >= 5% crashes, a basestation outage) online
+       re-partitioning must beat the static partition by at least 15%
+       mean goodput — the acceptance bar for the control loop existing
+       at all;
+     - replay_identical == 1: the whole A/B pipeline — fault schedule,
+       drift, solver, control decisions — is bit-reproducible from
+       (seed, config);
+     - ladder_unresolved == 0 and stop_wave_unresolved == 0: every
+       solver request completes or degrades within its deadline; a
+       blocked future is the liveness bug the serve hardening exists
+       to rule out;
+     - ladder accounting: solved + expired + shutdown == requests;
+     - the schedule is actually canonical: crashes >= 5% of the fleet,
+       >= 1 outage, burst chain entered the bad state;
+     - control_baseline_served == 0: the bench config keeps last-good
+       plans valid, so the catastrophic all-at-basestation rung must
+       never serve.
+
+2. Deterministic A/B outcomes (enforced): the fleet/fault config
+   hashes must match the reference exactly (same schedule), and the
+   static/adaptive mean goodputs must match within a tiny tolerance —
+   the run is seeded, so movement here means the simulation, solver,
+   or control loop changed behavior.
+
+3. Wall-clock serve latencies (--latency gate|report, default gate):
+   ladder_p50_ms / ladder_p99_ms depend on the host — CI runs this
+   layer in report mode; the gate is for same-host comparisons.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("reference")
+    ap.add_argument("fresh")
+    ap.add_argument("--max-regression", type=float, default=0.10,
+                    help="allowed fractional slack vs reference (default "
+                         "0.10); applies to the report/gate latency layer")
+    ap.add_argument("--latency", choices=["gate", "report"], default="gate",
+                    help="whether wall-clock latency failures are fatal "
+                         "(default gate; use report across hosts)")
+    args = ap.parse_args()
+
+    ref = load(args.reference)
+    new = load(args.fresh)
+    failures = []
+
+    # ---- 1. robustness contracts -----------------------------------
+    gain = new.get("adaptive_gain")
+    if gain is None:
+        failures.append("missing adaptive_gain in fresh run")
+    elif gain < 0.15:
+        failures.append(
+            f"adaptive_gain = {gain:.3f}, online re-partitioning must beat "
+            f"the static partition by >= 15% under the fault schedule")
+    else:
+        print(f"ok: adaptive_gain {gain:.1%} (>= 15%, reference "
+              f"{ref.get('adaptive_gain', float('nan')):.1%})")
+
+    if new.get("replay_identical") != 1:
+        failures.append(
+            f"replay_identical = {new.get('replay_identical')}, the A/B run "
+            f"must be bit-reproducible from (seed, config)")
+    else:
+        print("ok: replay_identical == 1")
+
+    for key in ("ladder_unresolved", "stop_wave_unresolved"):
+        v = new.get(key)
+        if v is None:
+            failures.append(f"missing {key} in fresh run")
+        elif v != 0:
+            failures.append(
+                f"{key} = {v}: a solver request neither completed nor "
+                f"degraded — an indefinitely blocked future")
+        else:
+            print(f"ok: {key} == 0")
+
+    parts = [new.get(k) for k in ("ladder_solved", "ladder_expired",
+                                  "ladder_shutdown")]
+    total = new.get("ladder_requests")
+    if None in parts or total is None:
+        failures.append("missing ladder accounting fields in fresh run")
+    elif sum(parts) != total:
+        failures.append(
+            f"ladder accounting broken: solved+expired+shutdown = "
+            f"{sum(parts)} != requests = {total}")
+    else:
+        print(f"ok: ladder accounting {parts[0]}+{parts[1]}+{parts[2]} == "
+              f"{total}")
+
+    nodes = new.get("num_nodes", 0)
+    crashed = new.get("nodes_crashed", 0)
+    if crashed * 20 < nodes:  # crashed < 5% of fleet
+        failures.append(
+            f"fault schedule not canonical: {crashed} crashes over "
+            f"{nodes} nodes is < 5% of the fleet")
+    else:
+        print(f"ok: {crashed}/{nodes} nodes crashed (>= 5%)")
+    if new.get("outages", 0) < 1:
+        failures.append("fault schedule not canonical: no basestation outage")
+    else:
+        print(f"ok: {new['outages']} basestation outage(s), "
+              f"{new.get('outage_total_s', 0.0):.1f}s dark")
+    if new.get("burst_bad_steps", 0) <= 0:
+        failures.append(
+            "fault schedule not canonical: burst chain never went bad")
+    else:
+        print(f"ok: burst_bad_steps {new['burst_bad_steps']}")
+
+    if new.get("control_baseline_served", -1) != 0:
+        failures.append(
+            f"control_baseline_served = {new.get('control_baseline_served')}:"
+            f" the all-at-basestation rung served despite valid last-good "
+            f"plans")
+    else:
+        print("ok: control_baseline_served == 0")
+
+    # ---- 2. deterministic A/B outcomes ------------------------------
+    for key in ("fleet_config_hash", "fault_config_hash"):
+        rv, nv = ref.get(key), new.get(key)
+        if nv is None:
+            failures.append(f"missing {key} in fresh run")
+        elif rv is not None and rv != nv:
+            failures.append(
+                f"{key} changed: {nv} vs reference {rv} — the canonical "
+                f"schedule moved; re-baseline deliberately or revert")
+        else:
+            print(f"ok: {key} {nv}")
+
+    # Seeded simulation: equal inputs must give (near-)equal outputs.
+    # The loose tolerance only absorbs libm differences across hosts.
+    for key in ("static_mean_goodput", "adaptive_mean_goodput"):
+        rv, nv = ref.get(key), new.get(key)
+        if nv is None:
+            failures.append(f"missing {key} in fresh run")
+        elif rv is not None and abs(nv - rv) > 1e-6 * max(abs(rv), 1e-12):
+            failures.append(
+                f"{key} moved on a seeded run: {nv!r} vs reference {rv!r}")
+        else:
+            print(f"ok: {key} {nv:.6f} (reference {rv})")
+
+    # ---- 3. wall-clock serve latency --------------------------------
+    for key in ("ladder_p50_ms", "ladder_p99_ms"):
+        rv, nv = ref.get(key), new.get(key)
+        if rv is None or nv is None or rv <= 0.0:
+            continue
+        ratio = nv / rv
+        print(f"latency: {key} reference {rv:.3g} fresh {nv:.3g} "
+              f"({ratio:.2f}x)")
+        if ratio > 1.0 + args.max_regression:
+            msg = (f"{key} regressed: {nv:.3g}ms vs reference {rv:.3g}ms "
+                   f"({ratio:.2f}x)")
+            if args.latency == "gate":
+                failures.append(msg)
+            else:
+                print(f"warning (report-only): {msg}")
+
+    if failures:
+        print()
+        for f in failures:
+            print(f"FAIL: {f}")
+        sys.exit(1)
+    print("OK: no fault-robustness regression")
+
+
+if __name__ == "__main__":
+    main()

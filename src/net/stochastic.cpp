@@ -6,23 +6,13 @@ namespace wishbone::net {
 
 StochasticChannel::StochasticChannel(RadioModel radio, TreeTopology topo,
                                      std::uint32_t seed)
-    : radio_(radio), topo_(topo),
-      state_(0x9E3779B97F4A7C15ULL ^ (static_cast<std::uint64_t>(seed) + 1)) {
+    : radio_(radio), topo_(topo), rng_(seed) {
   WB_REQUIRE(radio_.capacity_bytes_per_sec > 0, "radio model incomplete");
-}
-
-double StochasticChannel::next_uniform() {
-  // xorshift64*: small, fast, deterministic across platforms.
-  state_ ^= state_ >> 12;
-  state_ ^= state_ << 25;
-  state_ ^= state_ >> 27;
-  const std::uint64_t z = state_ * 0x2545F4914F6CDD1DULL;
-  return static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
 }
 
 bool StochasticChannel::try_deliver(double per_node_payload_rate) {
   const double p = topo_.delivery_fraction(radio_, per_node_payload_rate);
-  return next_uniform() < p;
+  return rng_.next_uniform() < p;
 }
 
 std::uint64_t StochasticChannel::deliver_count(double per_node_payload_rate,

@@ -11,6 +11,45 @@
 
 namespace wishbone::net {
 
+/// xorshift64* PRNG: small, fast, deterministic across platforms. The
+/// shared randomness substrate of every stochastic/fault component, so
+/// (seed, config) replays a run bit-for-bit on any host.
+struct Xorshift64 {
+  std::uint64_t state;
+
+  explicit Xorshift64(std::uint64_t seed)
+      : state(0x9E3779B97F4A7C15ULL ^ (seed + 1)) {}
+
+  [[nodiscard]] std::uint64_t next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform draw in [0, 1).
+  [[nodiscard]] double next_uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform draw in [lo, hi).
+  [[nodiscard]] double next_in(double lo, double hi) {
+    return lo + (hi - lo) * next_uniform();
+  }
+
+  /// Derives an independent child stream (splitmix-style hop) from the
+  /// current state and stream_id without advancing this stream —
+  /// components can fork in any order without perturbing each other or
+  /// the parent, the property the fault schedule's replayability rests
+  /// on.
+  [[nodiscard]] Xorshift64 fork(std::uint64_t stream_id) const {
+    std::uint64_t z = state + 0x9E3779B97F4A7C15ULL * (stream_id + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return Xorshift64(z ^ (z >> 31));
+  }
+};
+
 class StochasticChannel {
  public:
   StochasticChannel(RadioModel radio, TreeTopology topo, std::uint32_t seed);
@@ -29,9 +68,7 @@ class StochasticChannel {
  private:
   RadioModel radio_;
   TreeTopology topo_;
-  std::uint64_t state_;  ///< xorshift64* PRNG state
-
-  double next_uniform();
+  Xorshift64 rng_;
 };
 
 }  // namespace wishbone::net

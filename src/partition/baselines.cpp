@@ -150,4 +150,21 @@ BaselineResult greedy_partition(const PartitionProblem& p) {
   return res;
 }
 
+BaselineResult server_baseline(const PartitionProblem& p) {
+  p.check();
+  std::vector<Side> sides(p.num_vertices(), Side::kServer);
+  for (std::size_t v = 0; v < p.num_vertices(); ++v) {
+    if (p.vertices[v].req == Requirement::kNode) sides[v] = Side::kNode;
+  }
+  const AssignmentEval ev = evaluate_assignment(p, sides);
+  BaselineResult res;
+  res.evaluated = 1;
+  res.sides = std::move(sides);
+  res.cpu_used = ev.cpu;
+  res.net_used = ev.net;
+  res.objective = objective_of(p, ev);
+  res.feasible = ev.respects_pins && ev.unidirectional && ev.feasible(p);
+  return res;
+}
+
 }  // namespace wishbone::partition

@@ -50,4 +50,12 @@ struct PipelineCut {
 /// while the CPU budget allows. Not optimal; used for ablation.
 [[nodiscard]] BaselineResult greedy_partition(const PartitionProblem& p);
 
+/// All-at-basestation: only the node-pinned vertices (the sources) stay
+/// on the node, everything else runs server-side — the paper's "ship
+/// the raw data" configuration. Needs no solver and no profile, which
+/// makes it the unconditional last rung of the online repartitioner's
+/// degradation ladder; `feasible` reports whether the raw cut fits the
+/// budgets, but the sides are always returned.
+[[nodiscard]] BaselineResult server_baseline(const PartitionProblem& p);
+
 }  // namespace wishbone::partition

@@ -41,10 +41,14 @@ struct NodeSimStats {
   std::uint64_t msgs_dropped_queue = 0;
   double payload_bytes_sent = 0.0;
 
-  /// Fraction of input events fully processed on the node.
+  /// Fraction of input events fully processed on the node. An empty
+  /// run (no events arrived) processed everything it was given, so it
+  /// reports 1.0 — the same convention as tx_fraction(), and the one
+  /// that keeps goodput = input_fraction * delivery well-behaved for
+  /// idle nodes instead of zeroing them out.
   [[nodiscard]] double input_fraction() const {
     return events_arrived == 0
-               ? 0.0
+               ? 1.0
                : static_cast<double>(events_accepted) /
                      static_cast<double>(events_arrived);
   }

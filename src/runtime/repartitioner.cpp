@@ -1,0 +1,179 @@
+#include "runtime/repartitioner.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "partition/baselines.hpp"
+#include "util/assert.hpp"
+
+namespace wishbone::runtime {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+Repartitioner::Repartitioner(serve::PartitionServer& server, FleetSim& fleet,
+                             RepartitionerConfig cfg)
+    : server_(server),
+      fleet_(fleet),
+      cfg_(cfg),
+      jitter_(cfg.seed ^ 0x4A177E12ULL),
+      last_good_(fleet.num_classes()) {
+  WB_REQUIRE(cfg_.trigger_divergence > cfg_.clear_divergence &&
+                 cfg_.clear_divergence >= 0.0,
+             "hysteresis band inverted");
+  WB_REQUIRE(cfg_.max_attempts >= 1, "need at least one solver attempt");
+  WB_REQUIRE(cfg_.backoff_factor >= 1.0 && cfg_.backoff_jitter >= 0.0 &&
+                 cfg_.backoff_jitter <= 1.0,
+             "backoff parameters out of range");
+  if (cfg_.pump_server) {
+    WB_REQUIRE(server_.options().workers == 0,
+               "pump mode drains run_one and needs a workerless server");
+  }
+}
+
+std::vector<RepartitionDecision> Repartitioner::install_initial_plans() {
+  return replan_all();
+}
+
+std::vector<RepartitionDecision> Repartitioner::on_epoch(
+    const EpochStats& epoch) {
+  ++stats_.checks;
+  const double divergence =
+      std::abs(epoch.goodput - epoch.predicted_goodput) /
+      std::max(epoch.predicted_goodput, 1e-9);
+
+  // Hysteresis: only a divergence above the trigger replans; the armed
+  // state persists through the band in between and releases below the
+  // clear threshold. While armed, repeat rounds are cooldown-limited so
+  // a fleet hovering at the boundary does not thrash the solver.
+  if (divergence < cfg_.clear_divergence) {
+    diverged_ = false;
+    return {};
+  }
+  if (divergence <= cfg_.trigger_divergence) return {};
+  if (diverged_ && replanned_once_ &&
+      epoch.epoch < last_replan_epoch_ + cfg_.cooldown_epochs) {
+    return {};  // still cooling down from the last round
+  }
+  diverged_ = true;
+
+  ++stats_.triggers;
+  last_replan_epoch_ = epoch.epoch;
+  replanned_once_ = true;
+  return replan_all();
+}
+
+std::vector<RepartitionDecision> Repartitioner::replan_all() {
+  std::vector<RepartitionDecision> out;
+  out.reserve(fleet_.num_classes());
+  for (std::size_t c = 0; c < fleet_.num_classes(); ++c) {
+    out.push_back(replan_class(c));
+  }
+  return out;
+}
+
+RepartitionDecision Repartitioner::replan_class(std::size_t cls) {
+  const auto t0 = std::chrono::steady_clock::now();
+  RepartitionDecision d;
+  d.node_class = cls;
+
+  const double planned_cpu = fleet_.measured_cpu_scale(cls);
+  const double planned_quality = fleet_.measured_channel_quality();
+
+  // ---- rung 1: fresh solve against the measured profile.
+  double backoff_s = cfg_.backoff_initial_s;
+  for (std::size_t attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      if (!cfg_.pump_server) {
+        // Exponential backoff with seeded jitter so a thundering herd
+        // of control loops desynchronizes instead of re-colliding.
+        const double jit =
+            1.0 + cfg_.backoff_jitter * (2.0 * jitter_.next_uniform() - 1.0);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(backoff_s * jit));
+        backoff_s *= cfg_.backoff_factor;
+      }
+    }
+    d.attempts = attempt + 1;
+
+    serve::SolveRequest req;
+    req.problem = fleet_.measured_problem(cls);
+    req.platform_id = "fleet_class_" + std::to_string(cls);
+    req.deadline_s = cfg_.pump_server ? 0.0 : cfg_.deadline_s;
+    std::future<serve::SolveResponse> fut = server_.submit(std::move(req));
+
+    if (cfg_.pump_server) {
+      // Determinism mode: drain the workerless server on this thread.
+      while (fut.wait_for(std::chrono::seconds(0)) !=
+                 std::future_status::ready &&
+             server_.run_one()) {
+      }
+      if (fut.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        ++stats_.failed_attempts;
+        continue;
+      }
+    } else if (fut.wait_for(std::chrono::duration<double>(cfg_.deadline_s)) !=
+               std::future_status::ready) {
+      // The answer may still land later and warm the cache — but this
+      // control round will not block on it.
+      ++stats_.failed_attempts;
+      continue;
+    }
+
+    serve::SolveResponse resp = fut.get();
+    if (resp.source == serve::ResponseSource::kShutdown ||
+        resp.source == serve::ResponseSource::kExpired ||
+        !resp.result->feasible) {
+      ++stats_.failed_attempts;
+      continue;
+    }
+
+    fleet_.set_assignment(cls, resp.result->sides, planned_cpu,
+                          planned_quality);
+    last_good_[cls].sides = resp.result->sides;
+    last_good_[cls].epoch = fleet_.current_epoch();
+    last_good_[cls].valid = true;
+    ++stats_.fresh_solves;
+    d.source = PlanSource::kFresh;
+    d.cache_hit = resp.source == serve::ResponseSource::kCacheHit;
+    d.latency_s = seconds_since(t0);
+    return d;
+  }
+
+  // ---- rung 2: the previous successful plan, re-anchored to the
+  // current measured profile so divergence is judged against what we
+  // now expect of it.
+  if (last_good_[cls].valid &&
+      fleet_.current_epoch() - last_good_[cls].epoch <=
+          cfg_.stale_max_epochs) {
+    fleet_.set_assignment(cls, last_good_[cls].sides, planned_cpu,
+                          planned_quality);
+    ++stats_.stale_served;
+    d.source = PlanSource::kStale;
+    d.latency_s = seconds_since(t0);
+    return d;
+  }
+
+  // ---- rung 3: all-at-basestation. Solver-free, always available.
+  partition::BaselineResult base =
+      partition::server_baseline(fleet_.base_problem());
+  fleet_.set_assignment(cls, std::move(base.sides), planned_cpu,
+                        planned_quality);
+  ++stats_.baseline_served;
+  d.source = PlanSource::kBaseline;
+  d.latency_s = seconds_since(t0);
+  return d;
+}
+
+}  // namespace wishbone::runtime

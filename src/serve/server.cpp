@@ -15,15 +15,31 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// Terminal response with an infeasible placeholder result (the
+/// shutdown/expired paths — "never null" still holds).
+SolveResponse terminal_response(ResponseSource source, CacheOutcome outcome) {
+  SolveResponse resp;
+  resp.result = std::make_shared<partition::PartitionResult>();
+  resp.source = source;
+  resp.cache_outcome = outcome;
+  return resp;
+}
+
 }  // namespace
 
 /// One pending solve: the problem to run plus every promise waiting on
-/// it. waiters[0] is the request that created the batch (kSolved); the
-/// rest coalesced onto it (kCoalesced).
+/// it, each with its own admission-time deadline so a worker can shed
+/// the ones that expired before the solve started.
 struct PartitionServer::Batch {
   partition::PartitionProblem problem;
   CacheOutcome outcome = CacheOutcome::kMiss;  ///< at batch creation
-  std::vector<std::promise<SolveResponse>> waiters;
+  struct Waiter {
+    std::promise<SolveResponse> promise;
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_deadline = false;
+    bool creator = false;  ///< the request that created the batch
+  };
+  std::vector<Waiter> waiters;
 };
 
 PartitionServer::PartitionServer(ServeOptions opts)
@@ -62,16 +78,35 @@ std::optional<std::future<SolveResponse>> PartitionServer::try_submit(
 
 std::optional<std::future<SolveResponse>> PartitionServer::submit_impl(
     SolveRequest req, bool block) {
+  const bool has_deadline = req.deadline_s > 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(has_deadline ? req.deadline_s : 0.0));
+
   CacheKey key = key_for(req);
+
+  std::promise<SolveResponse> done;
+  std::future<SolveResponse> fut = done.get_future();
+
+  // A stopped server answers kShutdown deterministically — before the
+  // cache fast path, so post-stop behavior does not depend on what
+  // happens to still be cached.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ++stats_.requests;
+      done.set_value(
+          terminal_response(ResponseSource::kShutdown, CacheOutcome::kMiss));
+      return fut;
+    }
+  }
 
   // Fast path outside mu_: the cache has its own lock, and a hit never
   // touches the queue.
   CacheOutcome outcome = CacheOutcome::kMiss;
   std::shared_ptr<const partition::PartitionResult> cached =
       cache_.lookup(key, &outcome);
-
-  std::promise<SolveResponse> done;
-  std::future<SolveResponse> fut = done.get_future();
 
   if (cached) {
     {
@@ -92,11 +127,7 @@ std::optional<std::future<SolveResponse>> PartitionServer::submit_impl(
   for (;;) {
     if (stopping_) {
       lock.unlock();
-      SolveResponse resp;
-      resp.result = std::make_shared<partition::PartitionResult>();
-      resp.source = ResponseSource::kShutdown;
-      resp.cache_outcome = outcome;
-      done.set_value(std::move(resp));
+      done.set_value(terminal_response(ResponseSource::kShutdown, outcome));
       return fut;
     }
     // Coalesce: someone is already solving exactly this key (possibly a
@@ -104,7 +135,11 @@ std::optional<std::future<SolveResponse>> PartitionServer::submit_impl(
     auto it = inflight_.find(key);
     if (it != inflight_.end()) {
       ++stats_.coalesced;
-      it->second->waiters.push_back(std::move(done));
+      Batch::Waiter w;
+      w.promise = std::move(done);
+      w.deadline = deadline;
+      w.has_deadline = has_deadline;
+      it->second->waiters.push_back(std::move(w));
       return fut;
     }
     if (queue_.size() - queue_head_ < opts_.queue_capacity) break;
@@ -112,13 +147,30 @@ std::optional<std::future<SolveResponse>> PartitionServer::submit_impl(
       ++stats_.rejected;
       return std::nullopt;
     }
-    space_cv_.wait(lock);
+    // Admission control under overload: wait for queue space, but only
+    // until the request's own deadline — a submit never blocks
+    // indefinitely on a saturated server.
+    if (has_deadline) {
+      if (space_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        ++stats_.submit_timeouts;
+        lock.unlock();
+        done.set_value(terminal_response(ResponseSource::kExpired, outcome));
+        return fut;
+      }
+    } else {
+      space_cv_.wait(lock);
+    }
   }
 
   auto batch = std::make_shared<Batch>();
   batch->problem = std::move(req.problem);
   batch->outcome = outcome;
-  batch->waiters.push_back(std::move(done));
+  Batch::Waiter w;
+  w.promise = std::move(done);
+  w.deadline = deadline;
+  w.has_deadline = has_deadline;
+  w.creator = true;
+  batch->waiters.push_back(std::move(w));
   inflight_.emplace(key, std::move(batch));
   queue_.push_back(std::move(key));
   lock.unlock();
@@ -127,8 +179,11 @@ std::optional<std::future<SolveResponse>> PartitionServer::submit_impl(
 }
 
 bool PartitionServer::run_one() {
+  const auto now = std::chrono::steady_clock::now();
   CacheKey key;
   std::shared_ptr<Batch> batch;
+  std::vector<Batch::Waiter> expired;
+  bool shed = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (queue_head_ == queue_.size()) return false;
@@ -140,8 +195,33 @@ bool PartitionServer::run_one() {
     auto it = inflight_.find(key);
     WB_ASSERT(it != inflight_.end());
     batch = it->second;
+
+    // Load shedding: waiters whose deadline passed while the batch sat
+    // in the queue are answered kExpired now; if none are left, the
+    // solve itself is skipped — under overload the server spends its
+    // solver time only on answers someone is still waiting for.
+    std::vector<Batch::Waiter> live;
+    for (Batch::Waiter& w : batch->waiters) {
+      if (w.has_deadline && w.deadline <= now) {
+        expired.push_back(std::move(w));
+      } else {
+        live.push_back(std::move(w));
+      }
+    }
+    batch->waiters = std::move(live);
+    stats_.deadline_expired += expired.size();
+    if (batch->waiters.empty()) {
+      inflight_.erase(it);
+      ++stats_.shed_solves;
+      shed = true;
+    }
   }
   space_cv_.notify_one();
+  for (Batch::Waiter& w : expired) {
+    w.promise.set_value(
+        terminal_response(ResponseSource::kExpired, batch->outcome));
+  }
+  if (shed) return true;
 
   // Warm-basis reuse across cache-adjacent requests: the most recent
   // final basis for this (graph, platform) pair, from any profile cell.
@@ -163,7 +243,7 @@ bool PartitionServer::run_one() {
   // between would re-solve needlessly, never incorrectly).
   cache_.insert(key, result);
 
-  std::vector<std::promise<SolveResponse>> waiters;
+  std::vector<Batch::Waiter> waiters;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.solves;
@@ -179,10 +259,11 @@ bool PartitionServer::run_one() {
   proto.cache_outcome = batch->outcome;
   proto.warm_basis_used = proto.result->solver.warm_basis_loaded;
   proto.solve_s = solve_s;
-  for (std::size_t i = 0; i < waiters.size(); ++i) {
+  for (Batch::Waiter& w : waiters) {
     SolveResponse resp = proto;
-    resp.source = i == 0 ? ResponseSource::kSolved : ResponseSource::kCoalesced;
-    waiters[i].set_value(std::move(resp));
+    resp.source =
+        w.creator ? ResponseSource::kSolved : ResponseSource::kCoalesced;
+    w.promise.set_value(std::move(resp));
   }
   return true;
 }
@@ -212,26 +293,30 @@ void PartitionServer::stop() {
     if (t.joinable()) t.join();
   }
 
-  // Workers finish the solve they were running before exiting, so the
-  // batches left in inflight_ are exactly the never-started ones.
-  std::vector<std::promise<SolveResponse>> flushed;
+  // Flush exactly the batches still sitting in the queue. Iterating
+  // inflight_ instead would also sweep up a batch a concurrent manual
+  // run_one (workers == 0 mode) already popped and is mid-solve on —
+  // moving its waiters out from under it means set_value on moved-from
+  // promises (std::future_error) when the solve lands. Popped batches
+  // keep their inflight_ entry and are answered by their runner.
+  std::vector<Batch::Waiter> flushed;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (auto& [key, batch] : inflight_) {
-      for (std::promise<SolveResponse>& w : batch->waiters) {
+    for (std::size_t i = queue_head_; i < queue_.size(); ++i) {
+      auto it = inflight_.find(queue_[i]);
+      if (it == inflight_.end()) continue;
+      for (Batch::Waiter& w : it->second->waiters) {
         flushed.push_back(std::move(w));
       }
+      inflight_.erase(it);
     }
-    inflight_.clear();
     queue_.clear();
     queue_head_ = 0;
     stats_.shutdown_flushed += flushed.size();
   }
-  for (std::promise<SolveResponse>& w : flushed) {
-    SolveResponse resp;
-    resp.result = std::make_shared<partition::PartitionResult>();
-    resp.source = ResponseSource::kShutdown;
-    w.set_value(std::move(resp));
+  for (Batch::Waiter& w : flushed) {
+    w.promise.set_value(
+        terminal_response(ResponseSource::kShutdown, CacheOutcome::kMiss));
   }
 }
 

@@ -62,6 +62,14 @@ struct SolveRequest {
   /// graph::Graph should pass canonical_graph_hash(g) so structurally
   /// equal apps share entries regardless of problem construction.
   std::uint64_t graph_hash = 0;
+  /// Relative deadline in seconds (0 = none). A blocked submit gives up
+  /// waiting for queue space at the deadline (kExpired), and a worker
+  /// popping the batch sheds waiters whose deadline already passed
+  /// instead of burning solver time on answers nobody can use. The
+  /// future itself still resolves when the server answers — callers
+  /// that must bound their own blocking pair this with
+  /// future::wait_for, as runtime/repartitioner does.
+  double deadline_s = 0.0;
 };
 
 enum class ResponseSource {
@@ -69,6 +77,7 @@ enum class ResponseSource {
   kSolved,     ///< this request triggered the solve
   kCoalesced,  ///< attached to another request's in-flight solve
   kShutdown,   ///< server stopped before the solve ran
+  kExpired,    ///< deadline passed before the solve could start
 };
 
 struct SolveResponse {
@@ -90,6 +99,9 @@ struct ServerStats {
   std::size_t warm_basis_rejected = 0;///< donors refused by the compat check
   std::size_t rejected = 0;           ///< try_submit failures (queue full)
   std::size_t shutdown_flushed = 0;   ///< queued jobs answered kShutdown
+  std::size_t submit_timeouts = 0;    ///< blocked submits expired waiting
+  std::size_t deadline_expired = 0;   ///< waiters shed before their solve
+  std::size_t shed_solves = 0;        ///< batches skipped: no live waiter
   CacheStats cache;
 };
 
@@ -101,9 +113,12 @@ class PartitionServer {
   PartitionServer(const PartitionServer&) = delete;
   PartitionServer& operator=(const PartitionServer&) = delete;
 
-  /// Submits a request; blocks while the solve queue is full. The
-  /// future resolves on a cache hit immediately, otherwise when the
-  /// (possibly coalesced) solve lands.
+  /// Submits a request; blocks while the solve queue is full — but
+  /// never past the request's deadline (kExpired) or a stop()
+  /// (kShutdown). The future resolves on a cache hit immediately,
+  /// otherwise when the (possibly coalesced) solve lands. After stop()
+  /// every submit deterministically answers kShutdown, cache be damned:
+  /// a stopped server serves nothing.
   [[nodiscard]] std::future<SolveResponse> submit(SolveRequest req);
 
   /// Non-blocking submit: std::nullopt when the queue is full (the
@@ -116,9 +131,11 @@ class PartitionServer {
   /// tests with workers == 0 use it to drain deterministically.
   bool run_one();
 
-  /// Stops the workers, joins them, and answers every still-queued job
-  /// with ResponseSource::kShutdown (result = infeasible placeholder).
-  /// Idempotent; called by the destructor.
+  /// Stops the workers, joins them, and answers every *still-queued*
+  /// job with ResponseSource::kShutdown (result = infeasible
+  /// placeholder). A batch already popped by a concurrent manual
+  /// run_one is left alone — its runner answers it when the solve
+  /// lands. Idempotent; called by the destructor.
   void stop();
 
   [[nodiscard]] ServerStats stats() const;

@@ -93,6 +93,27 @@ TEST(NodeSim, MoreBufferSlotsSmoothBursts) {
   EXPECT_GE(eight, one);
 }
 
+TEST(NodeSim, EmptyRunReportsFullFractionsBothWays) {
+  // Regression: input_fraction() used to report 0.0 for a run where no
+  // events arrived while tx_fraction() reported 1.0 for a run where no
+  // messages were enqueued — the same "nothing was asked of me"
+  // situation scored as total failure on one axis and perfection on
+  // the other. Both must report 1.0: an idle node has perfect goodput,
+  // not zero.
+  NodeSimStats empty;
+  EXPECT_DOUBLE_EQ(empty.input_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.tx_fraction(), 1.0);
+
+  // And the consistency property on a compute-only run (no payload, so
+  // nothing is ever enqueued): both accessors agree on "no shortfall".
+  NodeSimParams p = base_params();
+  p.payload_per_event = 0.0;
+  const auto st = simulate_node(p);
+  EXPECT_EQ(st.msgs_enqueued, 0u);
+  EXPECT_DOUBLE_EQ(st.input_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(st.tx_fraction(), 1.0);
+}
+
 TEST(NodeSim, ContractChecks) {
   NodeSimParams p = base_params();
   p.event_interval_us = 0.0;

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <future>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -658,5 +660,163 @@ TEST(DspPlanConcurrency, ConcurrentFirstUseSharesOnePlan) {
     EXPECT_EQ(plans[t], plans[0]) << "thread " << t << " got a duplicate plan";
     ASSERT_EQ(dcts[t].size(), 17u);
     EXPECT_EQ(dcts[t], dcts[0]) << "thread " << t;
+  }
+}
+
+// ----------------------------------------------- Serve: deadlines
+
+TEST(Serve, PostStopSubmitsAnswerShutdownDeterministically) {
+  ServeOptions so;
+  so.workers = 0;
+  PartitionServer server(so);
+  const auto p = wbtest::random_problem(21);
+
+  // Solve once so the result is cached — then prove the cache is NOT
+  // consulted after stop(): a stopped server serves nothing.
+  auto f1 = server.submit(request_for(p, "mote"));
+  ASSERT_TRUE(server.run_one());
+  ASSERT_EQ(f1.get().source, ResponseSource::kSolved);
+
+  server.stop();
+  for (int i = 0; i < 3; ++i) {
+    const SolveResponse r = server.submit(request_for(p, "mote")).get();
+    EXPECT_EQ(r.source, ResponseSource::kShutdown) << "attempt " << i;
+    ASSERT_NE(r.result, nullptr);
+    EXPECT_FALSE(r.result->feasible);
+  }
+  EXPECT_EQ(server.stats().cache_hits, 0u);
+}
+
+TEST(Serve, ExpiredWaitersAreShedBeforeSolving) {
+  ServeOptions so;
+  so.workers = 0;
+  PartitionServer server(so);
+
+  SolveRequest req = request_for(wbtest::random_problem(22), "mote");
+  req.deadline_s = 1e-9;  // already expired by the time a worker looks
+  auto fut = server.submit(std::move(req));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+  // run_one consumed the queue entry but skipped the solve entirely.
+  EXPECT_TRUE(server.run_one());
+  EXPECT_FALSE(server.run_one());
+  const SolveResponse r = fut.get();
+  EXPECT_EQ(r.source, ResponseSource::kExpired);
+  ASSERT_NE(r.result, nullptr);
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.deadline_expired, 1u);
+  EXPECT_EQ(st.shed_solves, 1u);
+  EXPECT_EQ(st.solves, 0u);
+}
+
+TEST(Serve, ExpiredCoalescerShedsWhileLiveWaiterIsServed) {
+  ServeOptions so;
+  so.workers = 0;
+  PartitionServer server(so);
+  const auto p = wbtest::random_problem(23);
+
+  auto live = server.submit(request_for(p, "mote"));  // no deadline
+  SolveRequest doomed = request_for(p, "mote");
+  doomed.deadline_s = 1e-9;
+  auto dead = server.submit(std::move(doomed));  // coalesces onto `live`
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+  ASSERT_TRUE(server.run_one());
+  EXPECT_EQ(dead.get().source, ResponseSource::kExpired);
+  const SolveResponse r = live.get();
+  EXPECT_EQ(r.source, ResponseSource::kSolved);
+  EXPECT_TRUE(r.result->feasible);
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.solves, 1u);
+  EXPECT_EQ(st.deadline_expired, 1u);
+  EXPECT_EQ(st.shed_solves, 0u);
+}
+
+TEST(Serve, BlockedSubmitTimesOutAtItsDeadline) {
+  ServeOptions so;
+  so.workers = 0;
+  so.queue_capacity = 1;
+  PartitionServer server(so);
+
+  // Fill the queue; nothing drains it (workers == 0).
+  auto parked = server.submit(request_for(wbtest::random_problem(24), "mote"));
+  SolveRequest req = request_for(wbtest::random_problem(25), "mote");
+  req.deadline_s = 0.02;
+  const auto t0 = std::chrono::steady_clock::now();
+  const SolveResponse r = server.submit(std::move(req)).get();
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(r.source, ResponseSource::kExpired);
+  EXPECT_GE(waited, 0.015);  // actually waited for the deadline
+  EXPECT_LT(waited, 5.0);    // and did not block forever
+  EXPECT_EQ(server.stats().submit_timeouts, 1u);
+
+  ASSERT_TRUE(server.run_one());
+  EXPECT_EQ(parked.get().source, ResponseSource::kSolved);
+}
+
+// -------------------------------------------------------- ServeStress
+
+// Race harness for stop() vs concurrent submit()/run_one() — the
+// workers == 0 manual-drain mode where stop() used to move promises
+// out of a batch a drainer was mid-solve on (std::future_error when
+// the solve landed). Runs under the solver_fast label so the TSan and
+// ASan CI jobs exercise it. Every future must resolve; no exceptions.
+TEST(ServeStress, StopRacesManualDrainAndSubmitters) {
+  for (std::uint32_t round = 0; round < 8; ++round) {
+    ServeOptions so;
+    so.workers = 0;
+    so.queue_capacity = 8;
+    PartitionServer server(so);
+
+    std::atomic<bool> go{false};
+    std::atomic<bool> quit{false};
+    std::mutex futs_mu;
+    std::vector<std::future<SolveResponse>> futs;
+
+    std::thread drainer([&] {
+      while (!go.load()) {
+      }
+      while (!quit.load()) {
+        (void)server.run_one();
+      }
+      // Final drain: anything still queued after stop() was flushed by
+      // stop itself; run_one on an empty queue is a no-op.
+      (void)server.run_one();
+    });
+    std::thread submitter([&] {
+      while (!go.load()) {
+      }
+      for (std::uint32_t i = 0; i < 40 && !quit.load(); ++i) {
+        // Distinct tiny problems -> distinct keys -> real queue traffic.
+        auto req = request_for(
+            wbtest::random_problem(100 + round * 64 + i, 2, 2), "mote");
+        req.deadline_s = (i % 3 == 0) ? 1e-4 : 0.0;  // mix in shedding
+        auto f = server.try_submit(std::move(req));
+        if (f) {
+          std::lock_guard<std::mutex> lk(futs_mu);
+          futs.push_back(std::move(*f));
+        }
+      }
+    });
+
+    go.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 + round % 3));
+    server.stop();  // races the drainer's in-flight run_one
+    quit.store(true);
+    submitter.join();
+    drainer.join();
+
+    std::lock_guard<std::mutex> lk(futs_mu);
+    for (auto& f : futs) {
+      // The hard guarantee: every accepted submit resolves — no hangs,
+      // no future_error from promises moved out mid-solve.
+      ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+                std::future_status::ready)
+          << "round " << round;
+      const SolveResponse r = f.get();
+      ASSERT_NE(r.result, nullptr);
+    }
   }
 }

@@ -49,6 +49,42 @@ INSTANTIATE_TEST_SUITE_P(Rates, StochasticConvergence,
                          ::testing::Values(100.0, 800.0, 1500.0, 3000.0,
                                            8000.0, 20000.0));
 
+TEST(Stochastic, GoldenDeliveryCountUnderSeed) {
+  // Pins the channel's PRNG sequence: the stochastic layer's draws are
+  // part of every stamped replayable benchmark. If this changes, the
+  // stochastic sequence changed and all golden snapshots are invalid.
+  StochasticChannel ch(cc2420_radio(), TreeTopology(1), 42);
+  EXPECT_EQ(ch.deliver_count(800.0, 5000), 4736u);
+}
+
+TEST(Stochastic, ChiSquareAgainstAnalyticDelivery) {
+  // One binomial experiment per offered rate, each on its own seed;
+  // the normalized squared deviations sum to ~chi^2(k). This catches
+  // biased uniforms that a per-rate three-sigma band would miss.
+  const RadioModel radio = cc2420_radio();
+  const TreeTopology topo(1);
+  const double rates[] = {100.0,  400.0,  800.0,  1200.0,
+                          1500.0, 2200.0, 3000.0, 5000.0};
+  const std::uint64_t n = 20'000;
+  double chi2 = 0.0;
+  int k = 0;
+  std::uint32_t seed = 1000;
+  for (const double rate : rates) {
+    StochasticChannel ch(radio, topo, seed++);
+    const double p = topo.delivery_fraction(radio, rate);
+    const double e = static_cast<double>(n) * p;
+    // Skip cells too sparse for the chi-square approximation.
+    if (e < 5.0 || static_cast<double>(n) - e < 5.0) continue;
+    const double o = static_cast<double>(ch.deliver_count(rate, n));
+    chi2 += (o - e) * (o - e) / (e * (1.0 - p));
+    ++k;
+  }
+  ASSERT_GE(k, 5);
+  // 99.9th percentile of chi^2 with 8 dof is 26.12; any k <= 8 passes
+  // under this bound with false-failure probability < 0.1%.
+  EXPECT_LT(chi2, 26.12);
+}
+
 TEST(Stochastic, CollapsedChannelDeliversAlmostNothing) {
   const RadioModel radio = cc2420_radio();
   StochasticChannel ch(radio, TreeTopology(1), 3);
