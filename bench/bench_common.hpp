@@ -16,61 +16,49 @@
 
 #include "apps/eeg.hpp"
 #include "apps/speech.hpp"
+#include "obs/json.hpp"
 #include "profile/profiler.hpp"
 
 namespace wishbone::bench {
 
-/// Minimal ordered JSON object writer for machine-readable bench output
-/// (e.g. BENCH_fig6.json) so the perf trajectory of the solver can be
-/// tracked across PRs without scraping stdout.
+/// Ordered JSON object writer for machine-readable bench output (e.g.
+/// BENCH_fig6.json) so the perf trajectory of the solver can be tracked
+/// across PRs without scraping stdout. Thin facade over obs::JsonWriter
+/// — the one escaping/formatting implementation the whole telemetry
+/// plane shares (this class used to carry its own copy of the escape
+/// loop; fleet_faults and stream_throughput carried two more).
 class Json {
  public:
   void set(const std::string& key, double v) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    fields_.emplace_back(key, buf);
+    obs::JsonWriter w;
+    w.value(v);
+    fields_.emplace_back(key, w.take());
   }
   void set(const std::string& key, std::size_t v) {
     fields_.emplace_back(key, std::to_string(v));
   }
   void set(const std::string& key, const std::string& v) {
-    std::string out = "\"";
-    for (char c : v) {
-      if (c == '"' || c == '\\') {
-        out += '\\';
-        out += c;
-      } else if (static_cast<unsigned char>(c) < 0x20) {
-        char buf[8];
-        std::snprintf(buf, sizeof buf, "\\u%04x", c);
-        out += buf;
-      } else {
-        out += c;
-      }
-    }
-    out += "\"";
-    fields_.emplace_back(key, out);
+    fields_.emplace_back(key, "\"" + obs::json_escape(v) + "\"");
   }
   void set_array(const std::string& key, const std::vector<double>& vs) {
-    std::string out = "[";
-    char buf[64];
-    for (std::size_t i = 0; i < vs.size(); ++i) {
-      std::snprintf(buf, sizeof buf, "%.17g", vs[i]);
-      if (i) out += ",";
-      out += buf;
-    }
-    out += "]";
-    fields_.emplace_back(key, out);
+    obs::JsonWriter w;
+    w.begin_array();
+    for (double v : vs) w.value(v);
+    w.end_array();
+    fields_.emplace_back(key, w.take());
+  }
+  /// Splices a pre-rendered JSON fragment (e.g. a nested object built
+  /// with obs::JsonWriter directly).
+  void set_raw(const std::string& key, std::string json) {
+    fields_.emplace_back(key, std::move(json));
   }
 
   [[nodiscard]] std::string str() const {
-    std::string out = "{\n";
-    for (std::size_t i = 0; i < fields_.size(); ++i) {
-      out += "  \"" + fields_[i].first + "\": " + fields_[i].second;
-      if (i + 1 < fields_.size()) out += ",";
-      out += "\n";
-    }
-    out += "}\n";
-    return out;
+    obs::JsonWriter w(/*pretty=*/true);
+    w.begin_object();
+    for (const auto& [k, v] : fields_) w.key(k).raw(v);
+    w.end_object();
+    return w.take() + "\n";
   }
 
   bool write(const std::string& path) const {

@@ -41,6 +41,7 @@
 
 #include "bench_common.hpp"
 #include "net/radio.hpp"
+#include "obs/flight_recorder.hpp"
 #include "partition/problem.hpp"
 #include "runtime/fleet_sim.hpp"
 #include "runtime/repartitioner.hpp"
@@ -151,6 +152,8 @@ struct ArmResult {
   std::uint64_t fleet_hash = 0;
   std::uint64_t fault_hash = 0;
   std::uint64_t fault_seed = 0;
+  std::size_t flight_snapshots = 0;
+  std::string flight_json;
 };
 
 /// Runs one arm over a freshly constructed (identical) fleet. Both
@@ -163,6 +166,13 @@ ArmResult run_arm(std::size_t epochs, std::size_t num_nodes, bool adaptive) {
   serve::PartitionServer server(so);
   runtime::FleetSim fleet(bench_problem(), bench_config(epochs, num_nodes));
   runtime::Repartitioner rep(server, fleet, control_config());
+  // The adaptive arm carries a flight recorder so every divergence
+  // trigger and rung transition leaves a post-mortem snapshot. The
+  // recorder is passive (sim-time stamps, no clock reads, no control
+  // flow) — the replay arm attaches one too, and the bit-identical
+  // replay gate below is what proves that claim every run.
+  obs::FlightRecorder recorder;
+  if (adaptive) rep.set_flight_recorder(&recorder);
   (void)rep.install_initial_plans();
 
   ArmResult r;
@@ -190,6 +200,8 @@ ArmResult run_arm(std::size_t epochs, std::size_t num_nodes, bool adaptive) {
   r.fleet_hash = fleet.config().hash();
   r.fault_hash = fleet.config().faults.hash();
   r.fault_seed = fleet.faults().seed();
+  r.flight_snapshots = recorder.snapshots().size();
+  r.flight_json = recorder.dump_json();
   return r;
 }
 
@@ -375,6 +387,10 @@ int main(int argc, char** argv) {
   for (std::size_t e = 0; replay_identical && e < adap.goodput.size(); ++e) {
     replay_identical = replay.goodput[e] == adap.goodput[e];
   }
+  // The flight recorder rides along on both adaptive runs; its dumps
+  // (trigger times, reasons, metric deltas) must replay byte-for-byte
+  // too, or the recorder is not as passive as it claims.
+  const bool flight_replay_identical = replay.flight_json == adap.flight_json;
   const double ab_wall_s = seconds_since(t0);
 
   const double gain =
@@ -398,8 +414,16 @@ int main(int argc, char** argv) {
               adap.control.triggers, adap.control.fresh_solves,
               adap.control.stale_served, adap.control.baseline_served,
               adap.control.failed_attempts);
-  std::printf("replay identical       %s\n\n",
-              replay_identical ? "yes" : "NO — determinism broken");
+  std::printf("control failures by reason: pump_stalled=%zu deadline=%zu "
+              "shutdown=%zu expired=%zu infeasible=%zu\n",
+              adap.control.failed_pump_stalled, adap.control.failed_deadline,
+              adap.control.failed_shutdown, adap.control.failed_expired,
+              adap.control.failed_infeasible);
+  std::printf("flight recorder: %zu snapshots (BENCH_faults_flight.json)\n",
+              adap.flight_snapshots);
+  std::printf("replay identical       %s  (flight dump: %s)\n\n",
+              replay_identical ? "yes" : "NO — determinism broken",
+              flight_replay_identical ? "identical" : "DIVERGED");
 
   const LadderResult lad = run_ladder();
   std::printf("serve ladder: %zu requests -> solved=%zu expired=%zu "
@@ -434,6 +458,14 @@ int main(int argc, char** argv) {
   j.set("control_stale_served", adap.control.stale_served);
   j.set("control_baseline_served", adap.control.baseline_served);
   j.set("control_failed_attempts", adap.control.failed_attempts);
+  j.set("control_failed_pump_stalled", adap.control.failed_pump_stalled);
+  j.set("control_failed_deadline", adap.control.failed_deadline);
+  j.set("control_failed_shutdown", adap.control.failed_shutdown);
+  j.set("control_failed_expired", adap.control.failed_expired);
+  j.set("control_failed_infeasible", adap.control.failed_infeasible);
+  j.set("flight_snapshots", adap.flight_snapshots);
+  j.set("flight_replay_identical",
+        static_cast<std::size_t>(flight_replay_identical));
   j.set_array("static_goodput_by_epoch", stat.goodput);
   j.set_array("adaptive_goodput_by_epoch", adap.goodput);
   j.set_array("adaptive_predicted_by_epoch", adap.predicted);
@@ -451,5 +483,13 @@ int main(int argc, char** argv) {
   j.set("stop_wave_requests", lad.stop_wave_requests);
   j.set("stop_wave_unresolved", lad.stop_wave_unresolved);
   j.write("BENCH_faults.json");
+
+  // The adaptive arm's flight dump: one snapshot per divergence trigger
+  // / rung transition, with the metric deltas that led up to it.
+  if (std::FILE* f = std::fopen("BENCH_faults_flight.json", "w")) {
+    std::fwrite(adap.flight_json.data(), 1, adap.flight_json.size(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_faults_flight.json\n");
+  }
   return 0;
 }

@@ -7,7 +7,9 @@
 // benchmark reports what the service layer buys over calling the
 // partitioner directly:
 //
-//  - requests/sec and p50/p99 end-to-end latency under 10^5 devices,
+//  - requests/sec and p50/p95/p99 end-to-end latency under 10^5
+//    devices (percentiles from the obs::Histogram the serve layer
+//    itself exports — no sample vectors),
 //  - the cache hit rate (most devices share a quantization cell),
 //  - median hit latency vs median cold-solve latency and their ratio
 //    (the headline: a hit must be >= 5x faster than a cold solve),
@@ -19,7 +21,13 @@
 // bench/check_serve_regression.py; absolute throughput is report-only
 // across hosts, the convention set by the Fig. 6 and stream benches.
 //
-// Output: BENCH_serve.json in the working directory.
+// Runs with request tracing enabled at default sampling (1 in 1024),
+// so the reported latencies price in the telemetry plane's production
+// configuration — the overhead budget the obs README commits to.
+//
+// Output: BENCH_serve.json and BENCH_serve_metrics.prom (the
+// Prometheus export, validated by bench/check_obs_export.py) in the
+// working directory.
 //
 // Usage: bench_serve_fleet [devices] [rounds] [server_workers]
 #include <algorithm>
@@ -32,6 +40,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "partition/partitioner.hpp"
 #include "serve/graph_hash.hpp"
 #include "serve/server.hpp"
@@ -102,17 +112,6 @@ partition::PartitionProblem at_scale(const partition::PartitionProblem& base,
   return p;
 }
 
-double percentile(std::vector<double>& v, double q) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const double ix = q * static_cast<double>(v.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(ix);
-  const std::size_t hi = std::min(lo + 1, v.size() - 1);
-  return v[lo] + (v[hi] - v[lo]) * (ix - static_cast<double>(lo));
-}
-
-double median(std::vector<double>& v) { return percentile(v, 0.5); }
-
 constexpr std::size_t kShapes = 4;
 const char* const kPlatforms[] = {"tmote_sky", "imote2", "phone"};
 constexpr std::size_t kNumPlatforms = 3;
@@ -131,6 +130,24 @@ int main(int argc, char** argv) {
   bench::header("serve", "partitioning-as-a-service under a drifting fleet");
   std::printf("devices=%zu rounds=%zu server_workers=%zu clients=%zu\n\n",
               devices, rounds, server_workers, kClients);
+
+  // Production telemetry configuration: tracing on at default sampling.
+  // The latency gates below therefore price in the observability tax.
+  obs::Tracer::global().enable();
+
+  // End-to-end latency histograms, one per response path. 512 log
+  // buckets over 0.1us..10s keeps the per-bucket quantile error under
+  // ~4%, far inside the 5x hit-speedup gate's margin.
+  const obs::HistogramOptions lat_opts{1e-7, 10.0, 512};
+  obs::Registry& reg = obs::Registry::global();
+  obs::Histogram* const lat_all = reg.histogram(
+      "wishbone_bench_serve_latency_seconds", {{"path", "all"}}, lat_opts);
+  obs::Histogram* const lat_hit = reg.histogram(
+      "wishbone_bench_serve_latency_seconds", {{"path", "hit"}}, lat_opts);
+  obs::Histogram* const lat_cold = reg.histogram(
+      "wishbone_bench_serve_latency_seconds", {{"path", "cold"}}, lat_opts);
+  obs::Histogram* const lat_stale = reg.histogram(
+      "wishbone_bench_serve_latency_seconds", {{"path", "stale"}}, lat_opts);
 
   std::vector<partition::PartitionProblem> shapes;
   std::vector<std::uint64_t> shape_hashes;
@@ -155,17 +172,11 @@ int main(int argc, char** argv) {
   }
 
   // ---- main phase: rounds x devices requests from kClients threads.
-  struct ClientLog {
-    std::vector<double> hit_us, cold_us, stale_us, all_us;
-  };
-  std::vector<ClientLog> logs(kClients);
-
   const auto t_start = Clock::now();
   {
     std::vector<std::thread> clients;
     for (std::size_t c = 0; c < kClients; ++c) {
       clients.emplace_back([&, c] {
-        ClientLog& log = logs[c];
         std::mt19937 rng(0xc11e7u + static_cast<std::uint32_t>(c));
         for (std::size_t r = 0; r < rounds; ++r) {
           for (std::size_t d = c; d < devices; d += kClients) {
@@ -177,15 +188,15 @@ int main(int argc, char** argv) {
 
             const auto t0 = Clock::now();
             const serve::SolveResponse resp = server.submit(std::move(req)).get();
-            const double us = seconds_since(t0) * 1e6;
+            const double lat_s = seconds_since(t0);
 
-            log.all_us.push_back(us);
+            lat_all->record(lat_s);
             if (resp.source == serve::ResponseSource::kCacheHit) {
-              log.hit_us.push_back(us);
+              lat_hit->record(lat_s);
             } else if (resp.cache_outcome == serve::CacheOutcome::kStale) {
-              log.stale_us.push_back(us);
+              lat_stale->record(lat_s);
             } else {
-              log.cold_us.push_back(us);
+              lat_cold->record(lat_s);
             }
 
             // Random-walk drift: ~1.5% steps, reflected into [0.85, 1.2]
@@ -210,6 +221,11 @@ int main(int argc, char** argv) {
   probe.platform_id = kPlatforms[0];
   probe.graph_hash = shape_hashes[0];
   (void)server.submit(probe).get();  // ensure cached
+  // Pre-create this thread's trace ring: with sampling at 1/1024, one
+  // probe request may get sampled, and the ring's one-time allocation
+  // must not be billed to the hit path.
+  obs::Tracer::global().record_span(
+      "bench.ring_warmup", obs::Tracer::global().force_trace(), 0, 0);
   constexpr std::size_t kProbes = 1000;
   const std::uint64_t a0 = util::allocation_count();
   for (std::size_t i = 0; i < kProbes; ++i) {
@@ -221,28 +237,30 @@ int main(int argc, char** argv) {
 
   const serve::ServerStats st = server.stats();
 
-  std::vector<double> all_us, hit_us, cold_us, stale_us;
-  for (auto& log : logs) {
-    all_us.insert(all_us.end(), log.all_us.begin(), log.all_us.end());
-    hit_us.insert(hit_us.end(), log.hit_us.begin(), log.hit_us.end());
-    cold_us.insert(cold_us.end(), log.cold_us.begin(), log.cold_us.end());
-    stale_us.insert(stale_us.end(), log.stale_us.begin(), log.stale_us.end());
-  }
-
-  const double hit_rate =
-      static_cast<double>(hit_us.size()) / static_cast<double>(all_us.size());
-  const double med_hit = median(hit_us);
-  const double med_cold = median(cold_us);
-  const double med_stale = median(stale_us);
+  // Percentiles come straight off the shared histograms — the same
+  // numbers a scrape of the Prometheus export would reconstruct.
+  const std::uint64_t hits = lat_hit->count();
+  const std::uint64_t colds = lat_cold->count();
+  const std::uint64_t stales = lat_stale->count();
+  const double hit_rate = static_cast<double>(hits) /
+                          static_cast<double>(lat_all->count());
+  const double p50_us = lat_all->p50() * 1e6;
+  const double p95_us = lat_all->p95() * 1e6;
+  const double p99_us = lat_all->p99() * 1e6;
+  const double med_hit = lat_hit->p50() * 1e6;
+  const double med_cold = lat_cold->p50() * 1e6;
+  const double med_stale = lat_stale->p50() * 1e6;
   const double hit_speedup = med_hit > 0.0 ? med_cold / med_hit : 0.0;
 
   std::printf("requests            %zu in %.2fs  (%.0f req/s)\n",
               total_requests, wall_s,
               static_cast<double>(total_requests) / wall_s);
-  std::printf("latency p50 / p99   %.1f / %.1f us\n",
-              percentile(all_us, 0.50), percentile(all_us, 0.99));
+  std::printf("latency p50/p95/p99 %.1f / %.1f / %.1f us\n", p50_us, p95_us,
+              p99_us);
   std::printf("hit rate            %.4f  (%zu hits, %zu cold, %zu stale)\n",
-              hit_rate, hit_us.size(), cold_us.size(), stale_us.size());
+              hit_rate, static_cast<std::size_t>(hits),
+              static_cast<std::size_t>(colds),
+              static_cast<std::size_t>(stales));
   std::printf("median hit / cold   %.1f / %.1f us  -> %.1fx\n", med_hit,
               med_cold, hit_speedup);
   std::printf("median stale        %.1f us (warm-started re-solve)\n",
@@ -261,8 +279,9 @@ int main(int argc, char** argv) {
   j.set("requests", total_requests);
   j.set("wall_s", wall_s);
   j.set("requests_per_sec", static_cast<double>(total_requests) / wall_s);
-  j.set("p50_us", percentile(all_us, 0.50));
-  j.set("p99_us", percentile(all_us, 0.99));
+  j.set("p50_us", p50_us);
+  j.set("p95_us", p95_us);
+  j.set("p99_us", p99_us);
   j.set("hit_rate", hit_rate);
   j.set("median_hit_us", med_hit);
   j.set("median_cold_us", med_cold);
@@ -277,5 +296,18 @@ int main(int argc, char** argv) {
   j.set("cache_entries", st.cache.entries);
   j.set("cache_evictions", st.cache.evictions);
   j.write("BENCH_serve.json");
+
+  // Prometheus text export of everything the run registered (serve
+  // counters, cache counters, solver counters, latency histograms) —
+  // bench/check_obs_export.py parses and validates this file in CI.
+  {
+    const std::string prom = reg.prometheus_text();
+    std::FILE* f = std::fopen("BENCH_serve_metrics.prom", "w");
+    if (f != nullptr) {
+      std::fwrite(prom.data(), 1, prom.size(), f);
+      std::fclose(f);
+      std::printf("wrote BENCH_serve_metrics.prom\n");
+    }
+  }
   return 0;
 }

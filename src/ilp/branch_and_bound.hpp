@@ -31,6 +31,7 @@
 
 #include "ilp/model.hpp"
 #include "ilp/simplex.hpp"
+#include "obs/trace.hpp"
 
 namespace wishbone::ilp {
 
@@ -78,6 +79,11 @@ struct MipOptions {
   /// with the interleaving). When threads > 1 the rounding_hook must be
   /// reentrant — it is invoked concurrently from several workers.
   std::size_t threads = 1;
+  /// Request-scoped trace context (obs/trace.hpp). Unsampled (the
+  /// default) costs nothing; sampled contexts make the search record
+  /// bnb.search / bnb.node / basis.load spans parented under the
+  /// caller's span. Timestamps only — never affects the search.
+  obs::TraceContext trace;
 };
 
 struct IncumbentRecord {

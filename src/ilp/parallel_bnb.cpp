@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/stopwatch.hpp"
 
@@ -141,6 +143,12 @@ class Search {
     MipResult res;
     res.threads_used = static_cast<std::size_t>(num_workers_);
 
+    // Span around the whole search; its context parents the per-node
+    // and basis spans the workers record. Unsampled = two branches.
+    obs::Span search_span =
+        obs::Tracer::global().span("bnb.search", opts_.trace);
+    search_ctx_ = search_span.context();
+
     if (opts_.warm_start) {
       WB_REQUIRE(static_cast<int>(opts_.warm_start->size()) == n_,
                  "warm start has wrong dimension");
@@ -164,6 +172,8 @@ class Search {
       }
       for (std::thread& t : threads) t.join();
     }
+
+    search_span.finish();
 
     res.time_total = clock_.elapsed_seconds();
     res.nodes_explored = nodes_explored_.load();
@@ -216,10 +226,37 @@ class Search {
       res.status = SolveStatus::kOptimal;
       res.best_bound = res.objective;
     }
+
+    publish_metrics(res);
     return res;
   }
 
  private:
+  /// Aggregate counters into the process-wide registry, once per solve
+  /// (never per node — the search hot path stays registry-free).
+  /// Instrument pointers resolve once per process.
+  static void publish_metrics(const MipResult& res) {
+    obs::Registry& reg = obs::Registry::global();
+    static obs::Counter* const solves = reg.counter("wishbone_bnb_solves");
+    static obs::Counter* const nodes = reg.counter("wishbone_bnb_nodes");
+    static obs::Counter* const lp_iters =
+        reg.counter("wishbone_bnb_lp_iterations");
+    static obs::Counter* const steals = reg.counter("wishbone_bnb_steals");
+    static obs::Counter* const reloads =
+        reg.counter("wishbone_bnb_snapshot_reloads");
+    static obs::Counter* const refactors =
+        reg.counter("wishbone_bnb_basis_refactorizations");
+    static obs::Counter* const warm_rejected =
+        reg.counter("wishbone_bnb_warm_basis_rejected");
+    solves->inc();
+    nodes->inc(res.nodes_explored);
+    lp_iters->inc(res.lp_iterations);
+    steals->inc(res.steals);
+    reloads->inc(res.snapshot_reloads);
+    refactors->inc(res.basis_refactorizations);
+    if (res.warm_basis_rejected) warm_rejected->inc();
+  }
+
   /// Worker-private solving context: the whole point of the design is
   /// that nothing in here is ever touched by another thread.
   struct WorkerContext {
@@ -445,6 +482,13 @@ class Search {
       return;
     }
 
+    // Per-node span under the search span. A sampled trace records
+    // every node this search expands; the per-thread ring wraps, so a
+    // long proof keeps only its most recent window — exactly the
+    // flight-recorder use.
+    obs::Span node_span =
+        obs::Tracer::global().span("bnb.node", search_ctx_);
+
     apply_chain(ctx, nd);
     if (stolen && nd.snapshot && opts_.warm_lp) {
       // A stolen node is far from this worker's previous subtree: its
@@ -452,6 +496,8 @@ class Search {
       // snapshot instead — one refactorization, then the node LP is a
       // single bound edit away. load_basis falls back to a cold basis
       // on failure, which is still correct.
+      obs::Span load_span =
+          obs::Tracer::global().span("basis.load", node_span.context());
       if (ctx.state.load_basis(*nd.snapshot)) ++tel.snapshot_reloads;
     }
     if (!opts_.warm_lp) ctx.state.reset();  // seed behavior: cold per node
@@ -580,6 +626,8 @@ class Search {
       // Every worker inherits the caller's basis: any of them may end
       // up solving the root (or an early steal) and the load is one
       // refactorization against a search of many node LPs.
+      obs::Span load_span =
+          obs::Tracer::global().span("basis.load", search_ctx_);
       const bool ok = ctx.state.load_basis(*opts_.warm_basis);
       if (w == 0) warm_loaded_ = ok;
     }
@@ -650,6 +698,9 @@ class Search {
   std::vector<WorkerExit> exits_;
   bool warm_loaded_ = false;
   bool warm_compatible_ = true;
+  /// Context of the bnb.search span; written in run() before workers
+  /// spawn, read-only afterwards.
+  obs::TraceContext search_ctx_;
 };
 
 }  // namespace

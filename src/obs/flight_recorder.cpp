@@ -1,0 +1,153 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace wishbone::obs {
+
+namespace {
+
+/// Registry names are unique per (name, labels); render the pair as one
+/// stable key so baselines can be matched by string compare.
+std::string render_name(const MetricSample& s) {
+  if (s.labels.empty()) return s.name;
+  std::string out = s.name + "{";
+  for (std::size_t i = 0; i < s.labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += s.labels[i].key + "=" + s.labels[i].value;
+  }
+  out += '}';
+  return out;
+}
+
+double sample_value(const MetricSample& s) {
+  if (s.kind == MetricSample::Kind::kHistogram)
+    return static_cast<double>(s.hist->count());
+  return s.value;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity, std::size_t max_spans,
+                               Registry* registry, Tracer* tracer)
+    : registry_(registry ? registry : &Registry::global()),
+      tracer_(tracer ? tracer : &Tracer::global()),
+      capacity_(capacity == 0 ? 1 : capacity),
+      max_spans_(max_spans) {
+  baseline_ = read_registry();
+}
+
+std::vector<FlightRecorder::Baseline> FlightRecorder::read_registry() const {
+  std::vector<Baseline> out;
+  for (const MetricSample& s : registry_->snapshot())
+    out.push_back(Baseline{render_name(s), sample_value(s),
+                           s.kind == MetricSample::Kind::kGauge});
+  return out;
+}
+
+void FlightRecorder::rebaseline() {
+  std::vector<Baseline> b = read_registry();
+  std::lock_guard<std::mutex> lock(mu_);
+  baseline_ = std::move(b);
+}
+
+void FlightRecorder::trigger(double sim_time, std::string trigger_name,
+                             std::string detail) {
+  FlightSnapshot snap;
+  snap.sim_time = sim_time;
+  snap.trigger = std::move(trigger_name);
+  snap.detail = std::move(detail);
+
+  const std::vector<Baseline> current = read_registry();
+
+  std::vector<SpanRecord> spans = tracer_->collect();
+  if (max_spans_ > 0 && spans.size() > max_spans_)
+    spans.erase(spans.begin(),
+                spans.end() - static_cast<std::ptrdiff_t>(max_spans_));
+  snap.spans = std::move(spans);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Baseline& cur : current) {
+    // Gauges are levels, not accumulators: report the current reading
+    // so the snapshot is a function of *this* trigger alone (a delta
+    // would drag in whatever the gauge held before the recorder's
+    // baseline — e.g. a previous run in the same process).
+    if (cur.gauge) {
+      if (cur.value != 0.0)
+        snap.deltas.push_back(MetricDelta{cur.name, cur.value});
+      continue;
+    }
+    double prev = 0.0;
+    for (const Baseline& b : baseline_) {
+      if (b.name == cur.name) {
+        prev = b.value;
+        break;
+      }
+    }
+    const double delta = cur.value - prev;
+    if (delta != 0.0) snap.deltas.push_back(MetricDelta{cur.name, delta});
+  }
+  baseline_ = current;
+
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(snap));
+  } else {
+    ring_[next_] = std::move(snap);
+    next_ = (next_ + 1) % capacity_;
+    full_ = true;
+  }
+}
+
+std::vector<FlightSnapshot> FlightRecorder::snapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!full_) return ring_;
+  // Oldest-first once wrapped.
+  std::vector<FlightSnapshot> out;
+  out.reserve(ring_.size());
+  for (std::size_t k = 0; k < ring_.size(); ++k)
+    out.push_back(ring_[(next_ + k) % ring_.size()]);
+  return out;
+}
+
+std::size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::string FlightRecorder::dump_json() const {
+  const std::vector<FlightSnapshot> snaps = snapshots();
+  JsonWriter w(/*pretty=*/true);
+  w.begin_object();
+  w.key("flight_recorder").begin_array();
+  for (const FlightSnapshot& s : snaps) {
+    w.begin_object();
+    w.field("sim_time", s.sim_time);
+    w.field("trigger", std::string_view(s.trigger));
+    if (!s.detail.empty()) w.field("detail", std::string_view(s.detail));
+    w.key("metric_deltas").begin_object();
+    for (const MetricDelta& d : s.deltas)
+      w.field(std::string_view(d.name), d.delta);
+    w.end_object();
+    w.key("spans").begin_array();
+    for (const SpanRecord& sp : s.spans) {
+      w.begin_object();
+      w.field("name", sp.name);
+      w.field("trace", sp.trace_id);
+      w.field("span", sp.span_id);
+      w.field("parent", sp.parent_id);
+      w.field("ts_ns", sp.ts_ns);
+      w.field("dur_ns", sp.dur_ns);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace wishbone::obs

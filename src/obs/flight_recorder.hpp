@@ -1,0 +1,95 @@
+// Flight recorder: bounded post-mortem ring for rare, interesting
+// moments.
+//
+// Metrics tell you rates; traces tell you one request's story. The
+// flight recorder answers the third question — "what was happening
+// around the time the fleet degraded class 2 to the baseline rung at
+// epoch 17?" — by snapshotting, at each trigger, the metric *deltas*
+// since the previous trigger plus the most recent spans from the
+// tracer, into a fixed-size ring. FleetSim fires it on divergence
+// triggers, the Repartitioner on degradation-rung transitions; a test
+// or operator then dumps the whole ring as JSON.
+//
+// Determinism contract: the recorder is passive. It never reads a
+// clock (callers pass sim/epoch time), never influences any decision,
+// and only observes counters that are themselves deterministic under
+// the replay contract — attaching a recorder to a fleet A/B run must
+// not (and, by test, does not) change the schedule.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace wishbone::obs {
+
+class Registry;
+
+/// Change in one instrument since the previous trigger (counters and
+/// histogram counts are differenced; gauges report their current
+/// reading).
+struct MetricDelta {
+  std::string name;   ///< registry name, labels rendered inline
+  double delta = 0.0;
+};
+
+/// One trigger's capture.
+struct FlightSnapshot {
+  double sim_time = 0.0;  ///< caller-supplied (epoch index, sim seconds)
+  std::string trigger;    ///< e.g. "divergence", "rung_transition"
+  std::string detail;     ///< free-form: "class 2: warm -> baseline"
+  std::vector<MetricDelta> deltas;  ///< only instruments that moved
+  std::vector<SpanRecord> spans;    ///< most recent spans at capture
+};
+
+class FlightRecorder {
+ public:
+  /// `capacity`: snapshots retained (oldest evicted first).
+  /// `max_spans`: recent spans kept per snapshot. Registry/tracer
+  /// default to the process-wide instances; tests inject their own.
+  explicit FlightRecorder(std::size_t capacity = 32,
+                          std::size_t max_spans = 64,
+                          Registry* registry = nullptr,
+                          Tracer* tracer = nullptr);
+
+  /// Re-reads the registry and makes the current values the reference
+  /// point for the next trigger's deltas (also done at construction
+  /// and after every trigger()).
+  void rebaseline();
+
+  /// Captures a snapshot: metric deltas since the last baseline plus
+  /// the tracer's most recent spans. `sim_time` is caller-supplied —
+  /// the recorder never reads a clock.
+  void trigger(double sim_time, std::string trigger_name,
+               std::string detail = {});
+
+  [[nodiscard]] std::vector<FlightSnapshot> snapshots() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// The whole ring as pretty JSON (obs::JsonWriter).
+  [[nodiscard]] std::string dump_json() const;
+
+ private:
+  struct Baseline {
+    std::string name;
+    double value = 0.0;
+    bool gauge = false;  ///< gauges are reported absolute, not differenced
+  };
+  std::vector<Baseline> read_registry() const;
+
+  Registry* registry_;
+  Tracer* tracer_;
+  std::size_t capacity_;
+  std::size_t max_spans_;
+
+  mutable std::mutex mu_;
+  std::vector<Baseline> baseline_;
+  std::vector<FlightSnapshot> ring_;  ///< bounded by capacity_
+  std::size_t next_ = 0;              ///< ring write position once full
+  bool full_ = false;
+};
+
+}  // namespace wishbone::obs

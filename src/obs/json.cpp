@@ -1,0 +1,147 @@
+#include "obs/json.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace wishbone::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  if (!pretty_) return;
+  out_ += '\n';
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::before_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // the key already handled the comma for this member
+  }
+  if (!stack_.empty()) {
+    WB_ASSERT_MSG(stack_.back() == Ctx::kArray,
+                  "JsonWriter: value inside an object needs a key first");
+    if (has_items_.back()) out_ += ',';
+    has_items_.back() = true;
+    newline_indent();
+  }
+}
+
+void JsonWriter::open(char c, Ctx ctx) {
+  before_value();
+  out_ += c;
+  stack_.push_back(ctx);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::close(char c, Ctx ctx) {
+  WB_ASSERT_MSG(!stack_.empty() && stack_.back() == ctx && !after_key_,
+                "JsonWriter: unbalanced container close");
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline_indent();
+  out_ += c;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  open('{', Ctx::kObject);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  close('}', Ctx::kObject);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  open('[', Ctx::kArray);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  close(']', Ctx::kArray);
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  WB_ASSERT_MSG(!stack_.empty() && stack_.back() == Ctx::kObject &&
+                    !after_key_,
+                "JsonWriter: key() is only valid directly inside an object");
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  newline_indent();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += pretty_ ? "\": " : "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view v) {
+  before_value();
+  out_ += v;
+  return *this;
+}
+
+std::string JsonWriter::take() {
+  WB_ASSERT_MSG(stack_.empty() && !after_key_,
+                "JsonWriter: take() with unclosed containers");
+  std::string out = std::move(out_);
+  out_.clear();
+  return out;
+}
+
+}  // namespace wishbone::obs

@@ -1,0 +1,103 @@
+// One JSON writer for the whole telemetry plane.
+//
+// Every machine-readable artifact this repo emits — the bench
+// BENCH_*.json snapshots, the metrics-registry JSON export, the
+// chrome://tracing span dumps, the flight-recorder post-mortems — used
+// to mean another hand-rolled escaping loop somewhere. This header is
+// the single implementation: a string-escape function and a small
+// streaming writer that knows how to open/close nested objects and
+// arrays and to place the commas, nothing more. No DOM, no parsing, no
+// allocation beyond the output string itself.
+//
+// Formatting contract (stable across the repo):
+//  - doubles print with %.17g (round-trip exact, the bench convention);
+//  - integers print exactly (no double detour — a std::size_t counter
+//    must survive a round trip through the file);
+//  - strings escape `"`, `\` and all control characters below 0x20 as
+//    \u00XX; everything else (UTF-8 included) passes through verbatim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wishbone::obs {
+
+/// Escapes `s` for placement inside a JSON string literal (quotes not
+/// included — callers add them, or use JsonWriter which does).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Streaming writer for nested JSON. Usage:
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name").value("fleet");
+///   w.key("epochs").begin_array();
+///   for (double g : goodput) w.value(g);
+///   w.end_array();
+///   w.end_object();
+///   std::string out = w.take();
+///
+/// The writer inserts commas between siblings automatically. Misuse
+/// (value without key inside an object, unbalanced end_*) is a
+/// programming error; the writer keeps a small state stack and asserts
+/// in debug builds rather than emitting malformed output silently.
+class JsonWriter {
+ public:
+  /// `pretty` adds newlines + two-space indentation (the BENCH_*.json
+  /// house style); compact output (default) suits trace dumps, where
+  /// the file is large and chrome://tracing is the only reader.
+  explicit JsonWriter(bool pretty = false) : pretty_(pretty) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the member key; must be directly inside an object and must
+  /// be followed by exactly one value (or container).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  /// Splices `v` in verbatim — for a fragment that is already JSON
+  /// (e.g. a pre-rendered detail blob). The caller vouches for its
+  /// validity.
+  JsonWriter& raw(std::string_view v);
+
+  /// key(k) + value(v) in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  /// Finished document (all containers closed). Leaves the writer
+  /// empty and reusable.
+  [[nodiscard]] std::string take();
+
+  /// The output so far, without resetting (for tests).
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  enum class Ctx : std::uint8_t { kObject, kArray };
+
+  void before_value();   ///< comma/indent bookkeeping for a new sibling
+  void open(char c, Ctx ctx);
+  void close(char c, Ctx ctx);
+  void newline_indent();
+
+  std::string out_;
+  std::vector<Ctx> stack_;
+  std::vector<bool> has_items_;  ///< parallel to stack_
+  bool after_key_ = false;
+  bool pretty_ = false;
+};
+
+}  // namespace wishbone::obs

@@ -1,0 +1,177 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+#include "obs/json.hpp"
+
+namespace wishbone::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer* t = new Tracer();  // leaked: outlives static dtors
+  return *t;
+}
+
+void Tracer::enable(std::uint64_t sample_every_n, std::size_t ring_capacity) {
+  if (sample_every_n == 0) sample_every_n = 1;
+  sample_every_n_.store(sample_every_n, std::memory_order_relaxed);
+  ring_capacity_.store(ring_capacity == 0 ? 1 : ring_capacity,
+                       std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+std::uint64_t Tracer::now_ns() const {
+  const TraceClockFn fn = clock_.load(std::memory_order_relaxed);
+  return fn ? fn() : steady_now_ns();
+}
+
+void Tracer::set_clock(TraceClockFn fn) {
+  clock_.store(fn, std::memory_order_relaxed);
+}
+
+TraceContext Tracer::maybe_start_trace() {
+  if (!enabled_.load(std::memory_order_relaxed)) return {};
+  const std::uint64_t seq = sample_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (seq % sample_every_n_.load(std::memory_order_relaxed) != 0) return {};
+  return force_trace();
+}
+
+TraceContext Tracer::force_trace() {
+  TraceContext ctx;
+  ctx.trace_id = trace_id_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  ctx.span_id = 0;  // root: children of the trace itself
+  return ctx;
+}
+
+TraceContext Tracer::child_of(const TraceContext& parent) {
+  if (!parent.sampled()) return {};
+  return TraceContext{parent.trace_id, next_span_id()};
+}
+
+Span Tracer::span(const char* name, const TraceContext& parent) {
+  if (!parent.sampled()) return Span();
+  TraceContext ctx{parent.trace_id, next_span_id()};
+  return Span(this, name, ctx, parent.span_id, now_ns());
+}
+
+std::uint64_t Tracer::record_span(const char* name,
+                                  const TraceContext& parent,
+                                  std::uint64_t ts_ns, std::uint64_t dur_ns) {
+  if (!parent.sampled()) return 0;
+  SpanRecord rec;
+  rec.name = name;
+  rec.trace_id = parent.trace_id;
+  rec.span_id = next_span_id();
+  rec.parent_id = parent.span_id;
+  rec.ts_ns = ts_ns;
+  rec.dur_ns = dur_ns;
+  record(rec);
+  return rec.span_id;
+}
+
+Tracer::ThreadRing::ThreadRing(std::size_t capacity, std::uint32_t tid_in)
+    : slots(capacity), tid(tid_in) {}
+
+Tracer::ThreadRing& Tracer::local_ring() {
+  // One ring per (thread, tracer-lifetime). Rings are never destroyed
+  // while the tracer lives, so the cached pointer stays valid across
+  // clear()/disable(). The global tracer is leaked, so worker threads
+  // outliving main cannot dangle either.
+  static thread_local ThreadRing* ring = nullptr;
+  static thread_local Tracer* ring_owner = nullptr;
+  if (ring == nullptr || ring_owner != this) {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    const auto tid = static_cast<std::uint32_t>(rings_.size());
+    rings_.push_back(std::make_unique<ThreadRing>(
+        ring_capacity_.load(std::memory_order_relaxed), tid));
+    ring = rings_.back().get();
+    ring_owner = this;
+  }
+  return *ring;
+}
+
+void Tracer::record(const SpanRecord& rec) {
+  ThreadRing& ring = local_ring();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  ring.slots[ring.next] = rec;
+  ring.next = (ring.next + 1) % ring.slots.size();
+  if (ring.count < ring.slots.size()) ++ring.count;
+}
+
+std::vector<SpanRecord> Tracer::collect() const {
+  std::vector<SpanRecord> out;
+  std::lock_guard<std::mutex> list_lock(rings_mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    // Oldest-first: when wrapped, the oldest record sits at `next`.
+    const std::size_t cap = ring->slots.size();
+    const std::size_t start =
+        ring->count == cap ? ring->next : (ring->next - ring->count);
+    for (std::size_t k = 0; k < ring->count; ++k)
+      out.push_back(ring->slots[(start + k) % cap]);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> list_lock(rings_mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    ring->next = 0;
+    ring->count = 0;
+  }
+}
+
+std::string Tracer::dump_tef() const {
+  const std::vector<SpanRecord> spans = collect();
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const SpanRecord& s : spans) {
+    w.begin_object();
+    w.field("name", s.name);
+    w.field("cat", "wishbone");
+    w.field("ph", "X");  // complete event: ts + dur in microseconds
+    w.field("ts", static_cast<double>(s.ts_ns) / 1e3);
+    w.field("dur", static_cast<double>(s.dur_ns) / 1e3);
+    w.field("pid", 1);
+    w.field("tid", static_cast<std::uint64_t>(s.tid));
+    w.key("args").begin_object();
+    w.field("trace", s.trace_id);
+    w.field("span", s.span_id);
+    w.field("parent", s.parent_id);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+void Span::finish() {
+  if (tracer_ == nullptr) return;
+  SpanRecord rec;
+  rec.name = name_;
+  rec.trace_id = ctx_.trace_id;
+  rec.span_id = ctx_.span_id;
+  rec.parent_id = parent_id_;
+  rec.ts_ns = start_ns_;
+  const std::uint64_t end = tracer_->now_ns();
+  rec.dur_ns = end > start_ns_ ? end - start_ns_ : 0;
+  tracer_->record(rec);
+  tracer_ = nullptr;
+}
+
+}  // namespace wishbone::obs

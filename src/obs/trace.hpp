@@ -1,0 +1,187 @@
+// Request-scoped tracing: one causal chain from PartitionServer::submit
+// down to the basis loads it triggered.
+//
+// Model: a `TraceContext` is a (trace_id, span_id) pair. trace_id == 0
+// means "not sampled" and every tracing call degenerates to a branch on
+// that zero — no clock read, no recording, no allocation. Sampled
+// contexts flow by value through the existing plumbing
+// (`MipOptions::trace` carries them into the solver) and each layer
+// opens a child span around its own work.
+//
+// Recording: completed spans land in fixed-capacity per-thread ring
+// buffers (each ring has its own mutex, taken only by its owner thread
+// and by the dumper — never contended on the hot path). Rings wrap:
+// tracing is a window onto recent activity, not an unbounded log. The
+// dump is Trace Event Format JSON ("X" complete events), loadable in
+// chrome://tracing or Perfetto.
+//
+// Determinism contract (asserted by tests):
+//  - off by default; when off, the only cost is one relaxed atomic load
+//    per would-be span;
+//  - sampling is counter-based (1-in-N), never random;
+//  - the clock is injectable and affects only recorded timestamps,
+//    never control flow — enabling tracing cannot change a solve's
+//    iteration count or a fleet schedule.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wishbone::obs {
+
+/// Identity of the enclosing request + span. Copy freely; 16 bytes.
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< 0 = unsampled, all tracing is a no-op
+  std::uint64_t span_id = 0;   ///< the span new children parent under
+  [[nodiscard]] bool sampled() const { return trace_id != 0; }
+};
+
+/// One completed span as stored in a thread ring.
+struct SpanRecord {
+  const char* name = nullptr;  ///< static string — spans never own names
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 = root
+  std::uint64_t ts_ns = 0;      ///< start, tracer-clock nanoseconds
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;  ///< small per-thread ordinal, not an OS tid
+};
+
+/// Nanosecond clock used for span timestamps. Injectable so replay
+/// tests can pin time and so recorded traces are steady (monotonic) by
+/// default.
+using TraceClockFn = std::uint64_t (*)();
+
+class Span;
+
+/// Process-wide tracer. All methods are thread-safe.
+class Tracer {
+ public:
+  static Tracer& global();
+
+  /// Turns tracing on. `sample_every_n`: every N-th root request gets a
+  /// sampled TraceContext (default 1024 keeps serve-hit overhead in the
+  /// noise). `ring_capacity` applies to rings created after the call
+  /// (tests use small rings to exercise wraparound).
+  void enable(std::uint64_t sample_every_n = 1024,
+              std::size_t ring_capacity = 8192);
+  void disable();
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Root-context factory for request entry points. Returns an
+  /// unsampled context unless tracing is enabled and this call is the
+  /// N-th since enable().
+  TraceContext maybe_start_trace();
+  /// Always-sampled root context (tests, post-mortem captures).
+  TraceContext force_trace();
+  /// Child context under `parent` (fresh span id). Unsampled parents
+  /// yield unsampled children.
+  TraceContext child_of(const TraceContext& parent);
+
+  /// Opens a RAII span named `name` (must be a static string) under
+  /// `parent`. The span records itself on destruction.
+  [[nodiscard]] Span span(const char* name, const TraceContext& parent);
+
+  /// Records an already-timed span (e.g. queue-wait measured between
+  /// two threads). Returns the new span's id so callers can parent
+  /// further children under it. No-op (returns 0) for unsampled
+  /// parents.
+  std::uint64_t record_span(const char* name, const TraceContext& parent,
+                            std::uint64_t ts_ns, std::uint64_t dur_ns);
+
+  /// Replaces the timestamp source. Pass nullptr to restore the
+  /// default steady clock.
+  void set_clock(TraceClockFn fn);
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  /// All retained spans, oldest-first per thread, as Trace Event
+  /// Format JSON (chrome://tracing). Safe to call while tracing.
+  [[nodiscard]] std::string dump_tef() const;
+  /// Retained spans as records (tests and the flight recorder).
+  [[nodiscard]] std::vector<SpanRecord> collect() const;
+  /// Drops all retained spans; id counters keep advancing.
+  void clear();
+
+ private:
+  friend class Span;
+
+  struct ThreadRing {
+    explicit ThreadRing(std::size_t capacity, std::uint32_t tid);
+    mutable std::mutex mu;
+    std::vector<SpanRecord> slots;  ///< fixed size after construction
+    std::size_t next = 0;           ///< next write position
+    std::size_t count = 0;          ///< live records (<= slots.size())
+    std::uint32_t tid = 0;
+  };
+
+  ThreadRing& local_ring();
+  void record(const SpanRecord& rec);
+  std::uint64_t next_span_id() {
+    return span_id_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> sample_every_n_{1024};
+  std::atomic<std::uint64_t> sample_seq_{0};
+  std::atomic<std::uint64_t> trace_id_seq_{0};
+  std::atomic<std::uint64_t> span_id_seq_{0};
+  std::atomic<TraceClockFn> clock_{nullptr};
+  std::atomic<std::size_t> ring_capacity_{8192};
+
+  mutable std::mutex rings_mu_;  ///< guards the ring list, not the rings
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+};
+
+/// RAII span. Obtain via Tracer::span(); records on destruction.
+/// Unsampled spans cost two branches total.
+class Span {
+ public:
+  Span(Span&& other) noexcept : Span() { swap(other); }
+  Span& operator=(Span&& other) noexcept {
+    swap(other);
+    return *this;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { finish(); }
+
+  /// Context for children of this span (pass into callees).
+  [[nodiscard]] TraceContext context() const { return ctx_; }
+  [[nodiscard]] bool sampled() const { return ctx_.sampled(); }
+
+  /// Records the span now instead of at destruction (idempotent).
+  void finish();
+
+ private:
+  friend class Tracer;
+  Span() = default;
+  Span(Tracer* tracer, const char* name, TraceContext ctx,
+       std::uint64_t parent_id, std::uint64_t start_ns)
+      : tracer_(tracer),
+        name_(name),
+        ctx_(ctx),
+        parent_id_(parent_id),
+        start_ns_(start_ns) {}
+
+  void swap(Span& other) noexcept {
+    std::swap(tracer_, other.tracer_);
+    std::swap(name_, other.name_);
+    std::swap(ctx_, other.ctx_);
+    std::swap(parent_id_, other.parent_id_);
+    std::swap(start_ns_, other.start_ns_);
+  }
+
+  Tracer* tracer_ = nullptr;  ///< nullptr once finished / if unsampled
+  const char* name_ = nullptr;
+  TraceContext ctx_;
+  std::uint64_t parent_id_ = 0;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace wishbone::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace wishbone::runtime {
@@ -325,6 +326,31 @@ EpochStats FleetSim::run_epoch() {
 
   ++epoch_;
   history_.push_back(st);
+
+  // Publish the epoch's fleet view into the registry: gauges mirror
+  // this EpochStats, counters accumulate the fault telemetry. Passive —
+  // writes only, on sim values already computed, so attaching the
+  // telemetry plane cannot perturb the A/B replay (tested).
+  {
+    obs::Registry& reg = obs::Registry::global();
+    static obs::Counter* const epochs = reg.counter("wishbone_fleet_epochs");
+    static obs::Gauge* const goodput = reg.gauge("wishbone_fleet_goodput");
+    static obs::Gauge* const predicted =
+        reg.gauge("wishbone_fleet_predicted_goodput");
+    static obs::Gauge* const burst = reg.gauge("wishbone_fleet_burst_factor");
+    static obs::Gauge* const down = reg.gauge("wishbone_fleet_nodes_down");
+    static obs::Counter* const reparented =
+        reg.counter("wishbone_fleet_reparented");
+    static obs::Counter* const outage_ms =
+        reg.counter("wishbone_fleet_outage_ms");
+    epochs->inc();
+    goodput->set(st.goodput);
+    predicted->set(st.predicted_goodput);
+    burst->set(st.burst_factor);
+    down->set(static_cast<double>(st.nodes_down));
+    reparented->inc(st.reparented);
+    outage_ms->inc(static_cast<std::uint64_t>(st.outage_s * 1e3));
+  }
   return st;
 }
 

@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "partition/baselines.hpp"
 #include "util/assert.hpp"
 
@@ -18,7 +19,37 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+const char* plan_source_name(PlanSource s) {
+  switch (s) {
+    case PlanSource::kFresh:
+      return "fresh";
+    case PlanSource::kStale:
+      return "stale";
+    case PlanSource::kBaseline:
+      return "baseline";
+  }
+  return "?";
+}
+
 }  // namespace
+
+const char* to_string(ReplanFailure f) {
+  switch (f) {
+    case ReplanFailure::kNone:
+      return "none";
+    case ReplanFailure::kPumpStalled:
+      return "pump_stalled";
+    case ReplanFailure::kDeadline:
+      return "deadline";
+    case ReplanFailure::kShutdown:
+      return "shutdown";
+    case ReplanFailure::kExpired:
+      return "expired";
+    case ReplanFailure::kInfeasible:
+      return "infeasible";
+  }
+  return "?";
+}
 
 Repartitioner::Repartitioner(serve::PartitionServer& server, FleetSim& fleet,
                              RepartitionerConfig cfg)
@@ -26,7 +57,8 @@ Repartitioner::Repartitioner(serve::PartitionServer& server, FleetSim& fleet,
       fleet_(fleet),
       cfg_(cfg),
       jitter_(cfg.seed ^ 0x4A177E12ULL),
-      last_good_(fleet.num_classes()) {
+      last_good_(fleet.num_classes()),
+      prev_source_(fleet.num_classes(), -1) {
   WB_REQUIRE(cfg_.trigger_divergence > cfg_.clear_divergence &&
                  cfg_.clear_divergence >= 0.0,
              "hysteresis band inverted");
@@ -67,16 +99,66 @@ std::vector<RepartitionDecision> Repartitioner::on_epoch(
   diverged_ = true;
 
   ++stats_.triggers;
+  obs::Registry::global().counter("wishbone_repartitioner_triggers")->inc();
+  if (recorder_ != nullptr) {
+    recorder_->trigger(static_cast<double>(epoch.epoch), "divergence",
+                       "divergence=" + std::to_string(divergence));
+  }
   last_replan_epoch_ = epoch.epoch;
   replanned_once_ = true;
   return replan_all();
+}
+
+void Repartitioner::count_failure(ReplanFailure reason) {
+  switch (reason) {
+    case ReplanFailure::kNone:
+      return;
+    case ReplanFailure::kPumpStalled:
+      ++stats_.failed_pump_stalled;
+      break;
+    case ReplanFailure::kDeadline:
+      ++stats_.failed_deadline;
+      break;
+    case ReplanFailure::kShutdown:
+      ++stats_.failed_shutdown;
+      break;
+    case ReplanFailure::kExpired:
+      ++stats_.failed_expired;
+      break;
+    case ReplanFailure::kInfeasible:
+      ++stats_.failed_infeasible;
+      break;
+  }
+  ++stats_.failed_attempts;
+  // Control-loop rate, so the registry lookup (one mutex + scan) is
+  // fine here — no preregistration needed.
+  obs::Registry::global()
+      .counter("wishbone_repartitioner_failed_attempts",
+               {{"reason", to_string(reason)}})
+      ->inc();
 }
 
 std::vector<RepartitionDecision> Repartitioner::replan_all() {
   std::vector<RepartitionDecision> out;
   out.reserve(fleet_.num_classes());
   for (std::size_t c = 0; c < fleet_.num_classes(); ++c) {
-    out.push_back(replan_class(c));
+    RepartitionDecision d = replan_class(c);
+    obs::Registry::global()
+        .counter("wishbone_repartitioner_rungs",
+                 {{"rung", plan_source_name(d.source)}})
+        ->inc();
+    const int cur = static_cast<int>(d.source);
+    if (prev_source_[c] >= 0 && prev_source_[c] != cur &&
+        recorder_ != nullptr) {
+      recorder_->trigger(
+          static_cast<double>(fleet_.current_epoch()), "rung_transition",
+          "class " + std::to_string(c) + ": " +
+              plan_source_name(static_cast<PlanSource>(prev_source_[c])) +
+              " -> " + plan_source_name(d.source) +
+              " (last failure: " + to_string(d.last_failure) + ")");
+    }
+    prev_source_[c] = cur;
+    out.push_back(d);
   }
   return out;
 }
@@ -120,14 +202,16 @@ RepartitionDecision Repartitioner::replan_class(std::size_t cls) {
       }
       if (fut.wait_for(std::chrono::seconds(0)) !=
           std::future_status::ready) {
-        ++stats_.failed_attempts;
+        d.last_failure = ReplanFailure::kPumpStalled;
+        count_failure(d.last_failure);
         continue;
       }
     } else if (fut.wait_for(std::chrono::duration<double>(cfg_.deadline_s)) !=
                std::future_status::ready) {
       // The answer may still land later and warm the cache — but this
       // control round will not block on it.
-      ++stats_.failed_attempts;
+      d.last_failure = ReplanFailure::kDeadline;
+      count_failure(d.last_failure);
       continue;
     }
 
@@ -135,7 +219,13 @@ RepartitionDecision Repartitioner::replan_class(std::size_t cls) {
     if (resp.source == serve::ResponseSource::kShutdown ||
         resp.source == serve::ResponseSource::kExpired ||
         !resp.result->feasible) {
-      ++stats_.failed_attempts;
+      d.last_failure =
+          resp.source == serve::ResponseSource::kShutdown
+              ? ReplanFailure::kShutdown
+              : (resp.source == serve::ResponseSource::kExpired
+                     ? ReplanFailure::kExpired
+                     : ReplanFailure::kInfeasible);
+      count_failure(d.last_failure);
       continue;
     }
 
@@ -147,6 +237,7 @@ RepartitionDecision Repartitioner::replan_class(std::size_t cls) {
     ++stats_.fresh_solves;
     d.source = PlanSource::kFresh;
     d.cache_hit = resp.source == serve::ResponseSource::kCacheHit;
+    d.last_failure = ReplanFailure::kNone;  // earlier retries don't count
     d.latency_s = seconds_since(t0);
     return d;
   }

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "net/stochastic.hpp"
+#include "obs/flight_recorder.hpp"
 #include "runtime/fleet_sim.hpp"
 #include "serve/server.hpp"
 
@@ -73,6 +74,22 @@ enum class PlanSource {
   kBaseline,  ///< all-at-basestation fallback
 };
 
+/// Why a rung-1 solver attempt failed. Previously every path collapsed
+/// into one failed_attempts counter; the breakdown tells "the solver
+/// was down" (shutdown) apart from "the solver was slow" (deadline,
+/// expired) and "the solver answered garbage" (infeasible).
+enum class ReplanFailure {
+  kNone,         ///< no failure (attempt succeeded / no attempt yet)
+  kPumpStalled,  ///< pump mode drained the queue without an answer
+  kDeadline,     ///< this round's future::wait_for timed out
+  kShutdown,     ///< server answered ResponseSource::kShutdown
+  kExpired,      ///< server shed the request past its deadline
+  kInfeasible,   ///< solve landed but the partition was infeasible
+};
+
+/// Stable label for metrics/bench JSON (e.g. "deadline").
+[[nodiscard]] const char* to_string(ReplanFailure f);
+
 /// One class's outcome of a re-planning round.
 struct RepartitionDecision {
   std::size_t node_class = 0;
@@ -80,6 +97,9 @@ struct RepartitionDecision {
   std::size_t attempts = 0;   ///< solver attempts made
   double latency_s = 0.0;     ///< wall time to an installed plan
   bool cache_hit = false;     ///< answered from the serve LRU
+  /// Failure mode of the *last* rung-1 attempt — the reason the ladder
+  /// degraded when source != kFresh, kNone otherwise.
+  ReplanFailure last_failure = ReplanFailure::kNone;
 };
 
 struct RepartitionerStats {
@@ -89,7 +109,14 @@ struct RepartitionerStats {
   std::size_t stale_served = 0;     ///< rung-2 outcomes
   std::size_t baseline_served = 0;  ///< rung-3 outcomes
   std::size_t retries = 0;          ///< extra solver attempts
-  std::size_t failed_attempts = 0;  ///< expired / shutdown / timed out
+  std::size_t failed_attempts = 0;  ///< sum of the per-reason counts
+  // Per-reason breakdown of failed_attempts (also published as the
+  // labeled counter wishbone_repartitioner_failed_attempts{reason=...}).
+  std::size_t failed_pump_stalled = 0;
+  std::size_t failed_deadline = 0;
+  std::size_t failed_shutdown = 0;
+  std::size_t failed_expired = 0;
+  std::size_t failed_infeasible = 0;
 };
 
 class Repartitioner {
@@ -111,10 +138,21 @@ class Repartitioner {
   [[nodiscard]] const RepartitionerStats& stats() const { return stats_; }
   [[nodiscard]] const RepartitionerConfig& config() const { return cfg_; }
 
+  /// Attaches a flight recorder (not owned; nullptr detaches). The
+  /// recorder snapshots on divergence triggers and on rung transitions
+  /// with the fleet epoch as sim-time. Purely passive — attaching one
+  /// cannot change any decision (the A/B replay test asserts this).
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+
  private:
   /// Walks the ladder for one class and installs the result.
   RepartitionDecision replan_class(std::size_t cls);
   std::vector<RepartitionDecision> replan_all();
+  /// Counts one failed rung-1 attempt under its reason (struct view +
+  /// labeled registry counter).
+  void count_failure(ReplanFailure reason);
 
   serve::PartitionServer& server_;
   FleetSim& fleet_;
@@ -132,6 +170,11 @@ class Repartitioner {
   std::size_t last_replan_epoch_ = 0;
   bool replanned_once_ = false;
   RepartitionerStats stats_;
+
+  obs::FlightRecorder* recorder_ = nullptr;
+  /// Previous round's rung per class (-1 = no round yet), for
+  /// rung-transition detection.
+  std::vector<int> prev_source_;
 };
 
 }  // namespace wishbone::runtime

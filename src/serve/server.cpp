@@ -3,12 +3,58 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/graph_hash.hpp"
 #include "util/assert.hpp"
 
 namespace wishbone::serve {
 
 namespace {
+
+/// Registry instruments, resolved once per process (preregistration:
+/// the serve hot path only touches these pointers). Dual-write with
+/// the per-server ServerStats struct, which stays the authoritative
+/// per-instance view for existing callers and tests.
+struct ServeMetrics {
+  obs::Counter* requests;
+  obs::Counter* cache_hits;
+  obs::Counter* coalesced;
+  obs::Counter* solves;
+  obs::Counter* stale_resolves;
+  obs::Counter* warm_basis_used;
+  obs::Counter* warm_basis_rejected;
+  obs::Counter* rejected;
+  obs::Counter* shutdown_flushed;
+  obs::Counter* submit_timeouts;
+  obs::Counter* deadline_expired;
+  obs::Counter* shed_solves;
+  obs::Gauge* queue_depth;
+  obs::Histogram* solve_seconds;
+
+  static const ServeMetrics& get() {
+    static const ServeMetrics m = [] {
+      obs::Registry& r = obs::Registry::global();
+      ServeMetrics x;
+      x.requests = r.counter("wishbone_serve_requests");
+      x.cache_hits = r.counter("wishbone_serve_cache_hits");
+      x.coalesced = r.counter("wishbone_serve_coalesced");
+      x.solves = r.counter("wishbone_serve_solves");
+      x.stale_resolves = r.counter("wishbone_serve_stale_resolves");
+      x.warm_basis_used = r.counter("wishbone_serve_warm_basis_used");
+      x.warm_basis_rejected = r.counter("wishbone_serve_warm_basis_rejected");
+      x.rejected = r.counter("wishbone_serve_rejected");
+      x.shutdown_flushed = r.counter("wishbone_serve_shutdown_flushed");
+      x.submit_timeouts = r.counter("wishbone_serve_submit_timeouts");
+      x.deadline_expired = r.counter("wishbone_serve_deadline_expired");
+      x.shed_solves = r.counter("wishbone_serve_shed_solves");
+      x.queue_depth = r.gauge("wishbone_serve_queue_depth");
+      x.solve_seconds = r.histogram("wishbone_serve_solve_seconds");
+      return x;
+    }();
+    return m;
+  }
+};
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -40,6 +86,10 @@ struct PartitionServer::Batch {
     bool creator = false;  ///< the request that created the batch
   };
   std::vector<Waiter> waiters;
+  /// Context of the creating submit's span: the worker parents the
+  /// serve.queue / serve.solve spans under it. Unsampled = all zeros.
+  obs::TraceContext trace;
+  std::uint64_t enqueue_ns = 0;  ///< tracer clock at queue admission
 };
 
 PartitionServer::PartitionServer(ServeOptions opts)
@@ -78,6 +128,14 @@ std::optional<std::future<SolveResponse>> PartitionServer::try_submit(
 
 std::optional<std::future<SolveResponse>> PartitionServer::submit_impl(
     SolveRequest req, bool block) {
+  const ServeMetrics& m = ServeMetrics::get();
+  obs::Tracer& tracer = obs::Tracer::global();
+  // Root span of the request: samples 1-in-N when tracing is enabled,
+  // otherwise this is a single relaxed load and every span below it is
+  // a no-op.
+  obs::Span submit_span =
+      tracer.span("serve.submit", tracer.maybe_start_trace());
+
   const bool has_deadline = req.deadline_s > 0.0;
   const auto deadline =
       std::chrono::steady_clock::now() +
@@ -96,6 +154,7 @@ std::optional<std::future<SolveResponse>> PartitionServer::submit_impl(
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       ++stats_.requests;
+      m.requests->inc();
       done.set_value(
           terminal_response(ResponseSource::kShutdown, CacheOutcome::kMiss));
       return fut;
@@ -114,6 +173,8 @@ std::optional<std::future<SolveResponse>> PartitionServer::submit_impl(
       ++stats_.requests;
       ++stats_.cache_hits;
     }
+    m.requests->inc();
+    m.cache_hits->inc();
     SolveResponse resp;
     resp.result = std::move(cached);
     resp.source = ResponseSource::kCacheHit;
@@ -124,6 +185,7 @@ std::optional<std::future<SolveResponse>> PartitionServer::submit_impl(
 
   std::unique_lock<std::mutex> lock(mu_);
   ++stats_.requests;
+  m.requests->inc();
   for (;;) {
     if (stopping_) {
       lock.unlock();
@@ -135,6 +197,7 @@ std::optional<std::future<SolveResponse>> PartitionServer::submit_impl(
     auto it = inflight_.find(key);
     if (it != inflight_.end()) {
       ++stats_.coalesced;
+      m.coalesced->inc();
       Batch::Waiter w;
       w.promise = std::move(done);
       w.deadline = deadline;
@@ -145,6 +208,7 @@ std::optional<std::future<SolveResponse>> PartitionServer::submit_impl(
     if (queue_.size() - queue_head_ < opts_.queue_capacity) break;
     if (!block) {
       ++stats_.rejected;
+      m.rejected->inc();
       return std::nullopt;
     }
     // Admission control under overload: wait for queue space, but only
@@ -153,6 +217,7 @@ std::optional<std::future<SolveResponse>> PartitionServer::submit_impl(
     if (has_deadline) {
       if (space_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
         ++stats_.submit_timeouts;
+        m.submit_timeouts->inc();
         lock.unlock();
         done.set_value(terminal_response(ResponseSource::kExpired, outcome));
         return fut;
@@ -165,6 +230,10 @@ std::optional<std::future<SolveResponse>> PartitionServer::submit_impl(
   auto batch = std::make_shared<Batch>();
   batch->problem = std::move(req.problem);
   batch->outcome = outcome;
+  if (submit_span.sampled()) {
+    batch->trace = submit_span.context();
+    batch->enqueue_ns = tracer.now_ns();
+  }
   Batch::Waiter w;
   w.promise = std::move(done);
   w.deadline = deadline;
@@ -173,12 +242,15 @@ std::optional<std::future<SolveResponse>> PartitionServer::submit_impl(
   batch->waiters.push_back(std::move(w));
   inflight_.emplace(key, std::move(batch));
   queue_.push_back(std::move(key));
+  m.queue_depth->set(static_cast<double>(queue_.size() - queue_head_));
   lock.unlock();
   work_cv_.notify_one();
   return fut;
 }
 
 bool PartitionServer::run_one() {
+  const ServeMetrics& m = ServeMetrics::get();
+  obs::Tracer& tracer = obs::Tracer::global();
   const auto now = std::chrono::steady_clock::now();
   CacheKey key;
   std::shared_ptr<Batch> batch;
@@ -192,6 +264,7 @@ bool PartitionServer::run_one() {
       queue_.clear();
       queue_head_ = 0;
     }
+    m.queue_depth->set(static_cast<double>(queue_.size() - queue_head_));
     auto it = inflight_.find(key);
     WB_ASSERT(it != inflight_.end());
     batch = it->second;
@@ -210,9 +283,11 @@ bool PartitionServer::run_one() {
     }
     batch->waiters = std::move(live);
     stats_.deadline_expired += expired.size();
+    m.deadline_expired->inc(expired.size());
     if (batch->waiters.empty()) {
       inflight_.erase(it);
       ++stats_.shed_solves;
+      m.shed_solves->inc();
       shed = true;
     }
   }
@@ -233,10 +308,26 @@ bool PartitionServer::run_one() {
   ilp::Basis donor = cache_.warm_basis_donor(key.graph_hash, key.platform_id);
   if (!donor.empty()) po.mip.warm_basis = std::move(donor);
 
+  // Close the queue-wait span retroactively (enqueue -> pop, measured
+  // across threads on the tracer clock) and hang the solve span — and
+  // through MipOptions::trace the whole B&B subtree — under it.
+  obs::TraceContext queue_ctx = batch->trace;
+  if (batch->trace.sampled()) {
+    const std::uint64_t pop_ns = tracer.now_ns();
+    const std::uint64_t queue_span = tracer.record_span(
+        "serve.queue", batch->trace, batch->enqueue_ns,
+        pop_ns > batch->enqueue_ns ? pop_ns - batch->enqueue_ns : 0);
+    queue_ctx.span_id = queue_span;
+  }
+  obs::Span solve_span = tracer.span("serve.solve", queue_ctx);
+  po.mip.trace = solve_span.context();
+
   const auto t0 = std::chrono::steady_clock::now();
   auto result = std::make_shared<const partition::PartitionResult>(
       partition::solve_partition(batch->problem, po));
   const double solve_s = seconds_since(t0);
+  solve_span.finish();
+  m.solve_seconds->record(solve_s);
 
   // Publish to the cache *before* retiring the in-flight entry so a
   // concurrent submit for this key finds one or the other (a request in
@@ -253,6 +344,10 @@ bool PartitionServer::run_one() {
     waiters = std::move(batch->waiters);
     inflight_.erase(key);
   }
+  m.solves->inc();
+  if (batch->outcome == CacheOutcome::kStale) m.stale_resolves->inc();
+  if (result->solver.warm_basis_loaded) m.warm_basis_used->inc();
+  if (result->solver.warm_basis_rejected) m.warm_basis_rejected->inc();
 
   SolveResponse proto;
   proto.result = std::move(result);
@@ -313,6 +408,7 @@ void PartitionServer::stop() {
     queue_.clear();
     queue_head_ = 0;
     stats_.shutdown_flushed += flushed.size();
+    ServeMetrics::get().shutdown_flushed->inc(flushed.size());
   }
   for (Batch::Waiter& w : flushed) {
     w.promise.set_value(

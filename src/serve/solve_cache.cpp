@@ -1,11 +1,33 @@
 #include "serve/solve_cache.hpp"
 
+#include "obs/metrics.hpp"
 #include "serve/graph_hash.hpp"
 #include "util/assert.hpp"
 
 namespace wishbone::serve {
 
 namespace {
+
+/// Registry counters, dual-written with the per-cache CacheStats view.
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* stale;
+  obs::Counter* insertions;
+  obs::Counter* evictions;
+
+  static const CacheMetrics& get() {
+    static const CacheMetrics m = [] {
+      obs::Registry& r = obs::Registry::global();
+      return CacheMetrics{r.counter("wishbone_cache_hits"),
+                          r.counter("wishbone_cache_misses"),
+                          r.counter("wishbone_cache_stale"),
+                          r.counter("wishbone_cache_insertions"),
+                          r.counter("wishbone_cache_evictions")};
+    }();
+    return m;
+  }
+};
 
 std::uint64_t mix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ull;
@@ -49,6 +71,7 @@ std::shared_ptr<const partition::PartitionResult> SolveCache::lookup(
   if (it != map_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);  // promote, iterators stay
     ++stats_.hits;
+    CacheMetrics::get().hits->inc();
     *outcome = CacheOutcome::kHit;
     return it->second->result;
   }
@@ -56,11 +79,13 @@ std::shared_ptr<const partition::PartitionResult> SolveCache::lookup(
   const bool known_pair = pit != pairs_.end() && pit->second.entries > 0;
   if (known_pair) {
     ++stats_.stale;
+    CacheMetrics::get().stale->inc();
     *outcome = CacheOutcome::kStale;
   } else {
     *outcome = CacheOutcome::kMiss;
   }
   ++stats_.misses;
+  CacheMetrics::get().misses->inc();
   return nullptr;
 }
 
@@ -86,6 +111,7 @@ void SolveCache::insert(
   map_.emplace(key, lru_.begin());
   ++pair.entries;
   ++stats_.insertions;
+  CacheMetrics::get().insertions->inc();
 
   while (lru_.size() > capacity_) {
     const Entry& victim = lru_.back();
@@ -99,6 +125,7 @@ void SolveCache::insert(
     map_.erase(victim.key);
     lru_.pop_back();
     ++stats_.evictions;
+    CacheMetrics::get().evictions->inc();
   }
 }
 
