@@ -49,14 +49,16 @@ def print_wall_trend(paths):
     common = sorted(common or [])
     print("wall-clock trend (report-only; host-dependent):")
     print(f"  commonly proved points: {common}")
-    print(f"  {'snapshot':44s} {'engine':6s} {'thr':>3s} "
-          f"{'total wall s':>12s} {'proved-pts wall s':>17s}")
+    print(f"  {'snapshot':44s} {'engine':6s} {'reentry':7s} {'pricing':7s} "
+          f"{'thr':>3s} {'total wall s':>12s} {'proved-pts wall s':>17s}")
     for p, d in runs:
         wall = d.get("wall_s_per_point", [])
         proved_wall = (sum(wall[i] for i in common)
                        if all(i < len(wall) for i in common) else
                        float("nan"))
         print(f"  {p[-44:]:44s} {str(d.get('engine', '?')):6s} "
+              f"{str(d.get('reentry', 'phase1')):7s} "
+              f"{str(d.get('pricing', 'dantzig')):7s} "
               f"{str(d.get('threads', 1)):>3s} "
               f"{d.get('total_wall_s', float('nan')):12.2f} "
               f"{proved_wall:17.3f}")
@@ -76,6 +78,10 @@ def main():
                     help="extra snapshots for a report-only wall-clock "
                          "trend table (oldest first); the fresh run is "
                          "appended automatically")
+    ap.add_argument("--max-fallback-share", type=float, default=None,
+                    help="for a fresh run with reentry=dual: fail when "
+                         "phase-1 fallbacks exceed this fraction of all "
+                         "dual re-entry attempts (e.g. 0.05)")
     args = ap.parse_args()
 
     ref = load(args.reference)
@@ -93,14 +99,37 @@ def main():
     # comparison sound, but a same-protocol reference is tighter — with
     # equal node budgets the reference cannot have proved a point with
     # far more search than the fresh run, so a newly proved point can't
-    # inject headroom that masks a regression elsewhere.
-    for key in ("per_solve_limit_s", "max_nodes_per_solve"):
-        if ref.get(key) != new.get(key):
-            msg = (f"protocol mismatch: {key} reference={ref.get(key)} "
-                   f"vs fresh={new.get(key)}")
+    # inject headroom that masks a regression elsewhere. The re-entry
+    # mode and pricing rule are protocol too: the dual path is gated
+    # against a dual reference, never against the phase-1 walk (old
+    # snapshots predate the fields and default to the historical
+    # phase1/dantzig configuration).
+    for key, default in (("per_solve_limit_s", None),
+                         ("max_nodes_per_solve", None),
+                         ("reentry", "phase1"),
+                         ("pricing", "dantzig")):
+        if ref.get(key, default) != new.get(key, default):
+            msg = (f"protocol mismatch: {key} "
+                   f"reference={ref.get(key, default)} "
+                   f"vs fresh={new.get(key, default)}")
             if args.require_protocol_match:
                 sys.exit(msg)
             print(f"warning: {msg}")
+
+    # Dual-path health gate: a re-entry that punts to phase 1 got no
+    # value out of the warm dual-feasible basis. Report always, enforce
+    # when asked.
+    if new.get("reentry", "phase1") == "dual":
+        attempts = (new.get("total_dual_reentries", 0) +
+                    new.get("total_phase1_fallbacks", 0))
+        share = (new.get("total_phase1_fallbacks", 0) / attempts
+                 if attempts else 0.0)
+        print(f"dual re-entry fallback share: {share:.4f} "
+              f"({new.get('total_phase1_fallbacks', 0)} of {attempts})")
+        if args.max_fallback_share is not None and \
+                share > args.max_fallback_share:
+            sys.exit(f"phase-1 fallback share {share:.4f} exceeds "
+                     f"--max-fallback-share {args.max_fallback_share}")
 
     ref_proved = ref["proved"]
     new_proved = new["proved"]

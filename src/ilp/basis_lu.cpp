@@ -129,6 +129,12 @@ class DenseBasisEngine final : public BasisEngine {
     y = tmp;
   }
 
+  void btran_unit(int r, std::vector<double>& out) const override {
+    // e_r^T * Binv is literally row r of the explicit inverse.
+    out.resize(m_);
+    for (int k = 0; k < m_; ++k) out[k] = at(r, k);
+  }
+
   [[nodiscard]] bool update(int leave_row,
                             const std::vector<double>& w) override {
     // Elementary row update: eliminate the entering column from all
@@ -275,6 +281,12 @@ class LuBasisEngine final : public BasisEngine {
       z[p_[k]] = acc;
     }
     y = z;
+  }
+
+  void btran_unit(int r, std::vector<double>& out) const override {
+    out.assign(m_, 0.0);
+    out[r] = 1.0;
+    btran(out);
   }
 
   [[nodiscard]] bool update(int leave_row,

@@ -1,11 +1,13 @@
 // Basis factorization engines for the revised simplex.
 //
-// `SimplexState` needs four operations on the basis matrix B (the m
+// `SimplexState` needs five operations on the basis matrix B (the m
 // columns of the working constraint matrix currently basic):
 //
 //   factorize   rebuild the factorization from the basis columns
 //   ftran       x = B^-1 a            (pivot directions, basic values)
 //   btran       y = B^-T c            (duals / pricing)
+//   btran_unit  rho = B^-T e_r        (row r of B^-1: the dual simplex
+//               pivot row and the steepest-edge row norms)
 //   update      absorb one pivot: column `leave_row` of B replaced by
 //               the entering column whose FTRAN image is `w`
 //
@@ -92,6 +94,12 @@ class BasisEngine {
   /// In-place y = B^-T y (i.e. y^T = y_in^T B^-1): basic costs in,
   /// duals out.
   virtual void btran(std::vector<double>& y) const = 0;
+
+  /// out = B^-T e_r — row r of the basis inverse (rho^T = e_r^T B^-1),
+  /// the dual simplex pivot row; out is assigned size m. The dense
+  /// engine reads the row straight out of its explicit inverse; the LU
+  /// engine runs a unit vector through the full BTRAN path.
+  virtual void btran_unit(int r, std::vector<double>& out) const = 0;
 
   /// Absorbs a pivot: basis column `leave_row` replaced by the column
   /// whose FTRAN image is `w` (the simplex pivot direction). Returns

@@ -122,7 +122,8 @@ class Search {
     // MipResult::warm_basis_rejected so callers can count stale
     // inherits instead of silently paying for N futile load attempts.
     if (opts_.warm_basis && !opts_.warm_basis->empty()) {
-      warm_compatible_ = opts_.warm_basis->compatible_with(lp);
+      warm_reject_ = opts_.warm_basis->compatibility_with(lp);
+      warm_compatible_ = warm_reject_ == BasisRejectReason::kNone;
     }
     root_lo_.resize(n_);
     root_hi_.resize(n_);
@@ -200,11 +201,28 @@ class Search {
     res.warm_basis_loaded = warm_loaded_;
     res.warm_basis_rejected =
         opts_.warm_basis && !opts_.warm_basis->empty() && !warm_compatible_;
+    // Pre-flight rejections carry their reason; a compatible basis that
+    // still failed to load (singular factorization, strict bounds-
+    // revision check) reports the reason worker 0's load recorded.
+    if (res.warm_basis_rejected) {
+      res.warm_basis_reject_reason = warm_reject_;
+    } else if (opts_.warm_basis && !opts_.warm_basis->empty() &&
+               !warm_loaded_) {
+      res.warm_basis_reject_reason = warm_load_reject_;
+    }
     res.basis_engine = exits_[0].engine;
     for (const WorkerExit& e : exits_) {
       res.basis_refactorizations += e.refactorizations;
       res.eta_updates += e.eta_updates;
       res.eta_len_peak = std::max(res.eta_len_peak, e.eta_len_peak);
+      res.dual_reentries += e.tel.dual_reentries;
+      res.phase1_reentries += e.tel.phase1_reentries;
+      res.phase1_fallbacks += e.tel.phase1_fallbacks;
+      res.primal_pivots += e.tel.primal_pivots;
+      res.dual_pivots += e.tel.dual_pivots;
+      res.pivots_dantzig += e.tel.pivots_dantzig;
+      res.pivots_devex += e.tel.pivots_devex;
+      res.pivots_dse += e.tel.pivots_dse;
     }
 
     // Proven lower bound: the least bound among unexplored nodes (no
@@ -248,6 +266,18 @@ class Search {
         reg.counter("wishbone_bnb_basis_refactorizations");
     static obs::Counter* const warm_rejected =
         reg.counter("wishbone_bnb_warm_basis_rejected");
+    static obs::Counter* const reentries_dual =
+        reg.counter("wishbone_bnb_reentries", {{"mode", "dual"}});
+    static obs::Counter* const reentries_phase1 =
+        reg.counter("wishbone_bnb_reentries", {{"mode", "phase1"}});
+    static obs::Counter* const fallbacks =
+        reg.counter("wishbone_bnb_phase1_fallbacks");
+    static obs::Counter* const pivots_dantzig =
+        reg.counter("wishbone_bnb_pivots", {{"rule", "dantzig"}});
+    static obs::Counter* const pivots_devex =
+        reg.counter("wishbone_bnb_pivots", {{"rule", "devex"}});
+    static obs::Counter* const pivots_dse =
+        reg.counter("wishbone_bnb_pivots", {{"rule", "dse"}});
     solves->inc();
     nodes->inc(res.nodes_explored);
     lp_iters->inc(res.lp_iterations);
@@ -255,6 +285,12 @@ class Search {
     reloads->inc(res.snapshot_reloads);
     refactors->inc(res.basis_refactorizations);
     if (res.warm_basis_rejected) warm_rejected->inc();
+    reentries_dual->inc(res.dual_reentries);
+    reentries_phase1->inc(res.phase1_reentries);
+    fallbacks->inc(res.phase1_fallbacks);
+    pivots_dantzig->inc(res.pivots_dantzig);
+    pivots_devex->inc(res.pivots_devex);
+    pivots_dse->inc(res.pivots_dse);
   }
 
   /// Worker-private solving context: the whole point of the design is
@@ -501,11 +537,26 @@ class Search {
       if (ctx.state.load_basis(*nd.snapshot)) ++tel.snapshot_reloads;
     }
     if (!opts_.warm_lp) ctx.state.reset();  // seed behavior: cold per node
-    const LpSolution rel = ctx.state.solve();
+    // Prune threshold doubles as the LP's dual cutoff: under dual
+    // re-entry the node LP stops the moment its (monotone) bound rises
+    // past the point where this node gets pruned anyway — LP-infeasible
+    // nodes in particular are cut off long before the full
+    // dual-unbounded proof. Racy incumbent read is sound: a stale value
+    // is only ever higher, which weakens the cutoff.
+    double lp_cutoff = kInf;
+    {
+      const double inc0 = incumbent_.load();
+      if (std::isfinite(inc0)) {
+        lp_cutoff = inc0 - std::max(opts_.gap_abs,
+                                    opts_.gap_rel * std::fabs(inc0));
+      }
+    }
+    const LpSolution rel = ctx.state.solve(lp_cutoff);
     tel.lp_iterations += rel.iterations;
     ++tel.nodes_explored;
 
-    if (rel.status == SolveStatus::kInfeasible) {
+    if (rel.status == SolveStatus::kInfeasible ||
+        rel.status == SolveStatus::kCutoff) {
       complete(w);
       return;
     }
@@ -629,7 +680,10 @@ class Search {
       obs::Span load_span =
           obs::Tracer::global().span("basis.load", search_ctx_);
       const bool ok = ctx.state.load_basis(*opts_.warm_basis);
-      if (w == 0) warm_loaded_ = ok;
+      if (w == 0) {
+        warm_loaded_ = ok;
+        if (!ok) warm_load_reject_ = ctx.state.last_load_reject();
+      }
     }
     for (;;) {
       bool stolen = false;
@@ -641,7 +695,8 @@ class Search {
                            ctx.state.basis_stats().refactorizations,
                            ctx.state.basis_stats().eta_updates,
                            ctx.state.basis_stats().eta_len_peak,
-                           ctx.state.engine_kind()};
+                           ctx.state.engine_kind(),
+                           ctx.state.telemetry()};
   }
 
   const LinearProgram& lp_;
@@ -692,12 +747,17 @@ class Search {
     std::size_t eta_updates = 0;
     std::size_t eta_len_peak = 0;
     BasisEngineKind engine = BasisEngineKind::kDense;
+    SimplexTelemetry tel;
   };
 
   std::vector<WorkerTelemetry> tels_;
   std::vector<WorkerExit> exits_;
   bool warm_loaded_ = false;
   bool warm_compatible_ = true;
+  BasisRejectReason warm_reject_ = BasisRejectReason::kNone;
+  /// Worker 0's load failure reason when the pre-flight passed but the
+  /// load itself did not (singular / strict bounds-revision).
+  BasisRejectReason warm_load_reject_ = BasisRejectReason::kNone;
   /// Context of the bnb.search span; written in run() before workers
   /// spawn, read-only afterwards.
   obs::TraceContext search_ctx_;

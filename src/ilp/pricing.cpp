@@ -1,0 +1,205 @@
+#include "ilp/pricing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wishbone::ilp {
+
+const char* pricing_name(PricingKind kind) {
+  switch (kind) {
+    case PricingKind::kDantzig: return "dantzig";
+    case PricingKind::kDevex: return "devex";
+    case PricingKind::kDse: return "dse";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Weights are clamped from below: the steepest-edge update formulas
+/// subtract, and a weight driven to ~0 by floating-point cancellation
+/// would blow its score up unboundedly.
+constexpr double kMinWeight = 1e-4;
+
+/// Devex restart threshold: the max-form update only ever grows a
+/// weight, and once the largest weight dwarfs the reference framework
+/// the approximation has decayed into noise — restart the framework
+/// (everything back to 1) instead of pricing against it.
+constexpr double kDevexRestart = 1e7;
+
+// -------------------------------------------------------------- dantzig
+
+class DantzigRule final : public PricingRule {
+ public:
+  explicit DantzigRule(double eps) : eps_(eps) {}
+
+  [[nodiscard]] PricingKind kind() const override {
+    return PricingKind::kDantzig;
+  }
+  [[nodiscard]] double score(int, double d) const override {
+    return -std::fabs(d);
+  }
+  [[nodiscard]] double score_floor() const override { return -eps_; }
+  [[nodiscard]] double row_score(int, double infeas) const override {
+    return infeas;
+  }
+
+ private:
+  const double eps_;
+};
+
+// ---------------------------------------------------------------- devex
+
+/// Approximate steepest edge on both sides: column weights gamma_j for
+/// primal pricing, row weights beta_r for dual row selection, both
+/// maintained by the max-form devex update against the current
+/// reference framework (everything reset to 1 on refactorization).
+class DevexRule final : public PricingRule {
+ public:
+  DevexRule(int n_total, int m)
+      : gamma_(static_cast<std::size_t>(n_total), 1.0),
+        beta_(static_cast<std::size_t>(m), 1.0) {}
+
+  [[nodiscard]] PricingKind kind() const override {
+    return PricingKind::kDevex;
+  }
+
+  void reset_weights() override {
+    std::fill(gamma_.begin(), gamma_.end(), 1.0);
+    std::fill(beta_.begin(), beta_.end(), 1.0);
+  }
+
+  [[nodiscard]] double score(int j, double d) const override {
+    return -(d * d) / gamma_[j];
+  }
+  [[nodiscard]] double row_score(int r, double infeas) const override {
+    return (infeas * infeas) / beta_[r];
+  }
+
+  [[nodiscard]] bool needs_pivot_row() const override { return true; }
+
+  void primal_update(
+      int enter, int leaving, double alpha_q,
+      const std::vector<std::pair<int, double>>& alphas) override {
+    // Devex reference-framework update: for each priced column j with
+    // pivot-row entry alpha_j, gamma_j' = max(gamma_j,
+    // (alpha_j/alpha_q)^2 gamma_q); the leaving variable inherits
+    // max(gamma_q/alpha_q^2, 1).
+    const double gq = gamma_[enter];
+    const double aq2 = alpha_q * alpha_q;
+    double peak = 1.0;
+    for (const auto& [j, aj] : alphas) {
+      const double cand = (aj * aj) / aq2 * gq;
+      if (cand > gamma_[j]) gamma_[j] = cand;
+      if (gamma_[j] > peak) peak = gamma_[j];
+    }
+    gamma_[leaving] = std::max(gq / aq2, 1.0);
+    gamma_[enter] = 1.0;  // basic now; fresh reference when it re-leaves
+    if (peak > kDevexRestart) {
+      std::fill(gamma_.begin(), gamma_.end(), 1.0);
+    }
+  }
+
+  void dual_update(int r, int /*enter*/, double alpha_q,
+                   const std::vector<double>& w,
+                   const std::vector<double>& /*tau*/) override {
+    // Dual devex (max-form approximation of the row-norm update).
+    const double br = beta_[r];
+    const double aq2 = alpha_q * alpha_q;
+    const int m = static_cast<int>(beta_.size());
+    double peak = 1.0;
+    for (int i = 0; i < m; ++i) {
+      if (i == r || w[i] == 0.0) continue;
+      const double cand = (w[i] * w[i]) / aq2 * br;
+      if (cand > beta_[i]) beta_[i] = cand;
+      if (beta_[i] > peak) peak = beta_[i];
+    }
+    beta_[r] = std::max(br / aq2, 1.0);
+    if (peak > kDevexRestart) {
+      std::fill(beta_.begin(), beta_.end(), 1.0);
+    }
+  }
+
+  void set_row_weight(int r, double weight) override {
+    beta_[r] = std::max(weight, kMinWeight);
+  }
+
+ private:
+  std::vector<double> gamma_;  ///< primal column weights, size n_total
+  std::vector<double> beta_;   ///< dual row weights, size m
+};
+
+// ------------------------------------------------------------------ dse
+
+/// Exact dual steepest edge: beta_r tracks ||B^-T e_r||^2 through the
+/// Forrest-Goldfarb update (which needs tau = B^-1 rho_r per dual
+/// pivot). Primal pivots price Dantzig — a row norm has no column
+/// analogue — and leave beta stale until the next refactorization
+/// resets it (row selection is a heuristic; staleness costs pivots,
+/// never correctness).
+class DseRule final : public PricingRule {
+ public:
+  DseRule(int m, double eps)
+      : eps_(eps), beta_(static_cast<std::size_t>(m), 1.0) {}
+
+  [[nodiscard]] PricingKind kind() const override { return PricingKind::kDse; }
+
+  void reset_weights() override {
+    std::fill(beta_.begin(), beta_.end(), 1.0);
+  }
+
+  [[nodiscard]] double score(int, double d) const override {
+    return -std::fabs(d);
+  }
+  [[nodiscard]] double score_floor() const override { return -eps_; }
+  [[nodiscard]] double row_score(int r, double infeas) const override {
+    return (infeas * infeas) / beta_[r];
+  }
+
+  [[nodiscard]] bool needs_dual_tau() const override { return true; }
+
+  void dual_update(int r, int /*enter*/, double alpha_q,
+                   const std::vector<double>& w,
+                   const std::vector<double>& tau) override {
+    // Forrest-Goldfarb: beta_i' = beta_i - 2(w_i/alpha_q) tau_i
+    //                            + (w_i/alpha_q)^2 beta_r  (i != r),
+    //                   beta_r' = beta_r / alpha_q^2.
+    const double br = beta_[r];
+    const int m = static_cast<int>(beta_.size());
+    for (int i = 0; i < m; ++i) {
+      if (i == r || w[i] == 0.0) continue;
+      const double k = w[i] / alpha_q;
+      beta_[i] = std::max(beta_[i] - 2.0 * k * tau[i] + k * k * br,
+                          kMinWeight);
+    }
+    beta_[r] = std::max(br / (alpha_q * alpha_q), kMinWeight);
+  }
+
+  void set_row_weight(int r, double weight) override {
+    beta_[r] = std::max(weight, kMinWeight);
+  }
+
+  [[nodiscard]] PricingKind primal_rule() const override {
+    return PricingKind::kDantzig;
+  }
+
+ private:
+  const double eps_;
+  std::vector<double> beta_;  ///< exact dual row norms ||B^-T e_r||^2
+};
+
+}  // namespace
+
+std::unique_ptr<PricingRule> make_pricing_rule(PricingKind kind, int n_total,
+                                               int m, double eps) {
+  switch (kind) {
+    case PricingKind::kDevex:
+      return std::make_unique<DevexRule>(n_total, m);
+    case PricingKind::kDse:
+      return std::make_unique<DseRule>(m, eps);
+    default:
+      return std::make_unique<DantzigRule>(eps);
+  }
+}
+
+}  // namespace wishbone::ilp

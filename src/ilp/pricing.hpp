@@ -1,0 +1,131 @@
+// Pluggable pricing rules for the primal/dual simplex core.
+//
+// `SimplexState` owns one `PricingRule` and consults it in two places:
+//
+//  - the *primal* pricing loop asks `score(j, d)` for every eligible
+//    nonbasic column (smaller is better; the argmin enters), and
+//  - the *dual* row-selection loop asks `row_score(r, infeas)` for
+//    every bound-violating basic row (larger is better; the argmax
+//    leaves).
+//
+// The rule never touches the basis engine or the constraint matrix —
+// whenever a weight update needs transformed vectors (the pivot row
+// rho = B^-T e_r, its FTRAN image tau = B^-1 rho), the simplex loop
+// computes them and hands them in. `needs_pivot_row()` /
+// `needs_dual_tau()` let the loop skip those solves for rules that do
+// not want them, so the Dantzig default costs exactly what the
+// pre-refactor hardwired loop did.
+//
+// Weight lifecycle: weights start at their reference value (1.0) on
+// construction and on every `reset_weights()` — SimplexState calls that
+// on cold resets and on every refactorization (the *approximate* reset;
+// with `SimplexOptions::exact_weight_reset` the state follows up with
+// `set_row_weight` per row, recomputing the true steepest-edge norms
+// ||B^-T e_i||^2 at m extra BTRAN-unit solves per refactorization).
+//
+// Three rules ship:
+//
+//   kDantzig  score = -|d|, row_score = infeasibility. Stateless; the
+//             tested PR 1 reference — the default path is bit-identical
+//             to the pre-refactor solver.
+//   kDevex    primal devex reference weights gamma_j over the columns
+//             (score = -d^2/gamma_j) and dual devex weights beta_r over
+//             the rows (row_score = infeas^2/beta_r), both maintained
+//             by the cheap max-form update (Forrest & Goldfarb's
+//             approximate steepest edge).
+//   kDse      dual steepest edge proper: beta_r tracks ||B^-T e_r||^2
+//             exactly via the Forrest-Goldfarb update (needs tau).
+//             Primal side prices Dantzig — DSE is a *row* norm and has
+//             no column analogue here, so pivot counts attribute to
+//             dantzig on primal pivots and dse on dual pivots.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace wishbone::ilp {
+
+enum class PricingKind {
+  kDantzig,  ///< most-negative reduced cost / most-violated row
+  kDevex,    ///< approximate steepest edge, primal + dual weights
+  kDse,      ///< exact dual steepest edge rows, Dantzig primal
+};
+
+[[nodiscard]] const char* pricing_name(PricingKind kind);
+
+class PricingRule {
+ public:
+  virtual ~PricingRule() = default;
+
+  [[nodiscard]] virtual PricingKind kind() const = 0;
+
+  /// Restores every weight to its reference value (1.0). Called on cold
+  /// resets and refactorizations; a no-op for stateless rules.
+  virtual void reset_weights() {}
+
+  /// Primal entering score for eligible column j with reduced cost d;
+  /// SMALLER is better.
+  [[nodiscard]] virtual double score(int j, double d) const = 0;
+
+  /// Scores must be strictly below this to be picked. Dantzig folds the
+  /// |d| > eps eligibility threshold into the floor (-eps); weighted
+  /// rules use 0 — their scores are not commensurable with eps, and
+  /// eligibility was already decided on the raw reduced cost.
+  [[nodiscard]] virtual double score_floor() const { return 0.0; }
+
+  /// Dual leaving-row score for basis row r whose variable violates a
+  /// bound by `infeas` > 0; LARGER is better.
+  [[nodiscard]] virtual double row_score(int r, double infeas) const = 0;
+
+  /// True when primal pivots must hand `primal_update` the pivot row
+  /// restricted to the candidate list (devex weight maintenance).
+  [[nodiscard]] virtual bool needs_pivot_row() const { return false; }
+
+  /// True when dual pivots must hand `dual_update` tau = B^-1 rho_r
+  /// (the exact steepest-edge update).
+  [[nodiscard]] virtual bool needs_dual_tau() const { return false; }
+
+  /// Primal pivot notification: column `enter` replaced `leaving` with
+  /// pivot element alpha_q; `alphas` holds (j, rho . A_j) over the
+  /// still-nonbasic candidate columns (empty unless needs_pivot_row()).
+  virtual void primal_update(
+      int enter, int leaving, double alpha_q,
+      const std::vector<std::pair<int, double>>& alphas) {
+    (void)enter;
+    (void)leaving;
+    (void)alpha_q;
+    (void)alphas;
+  }
+
+  /// Dual pivot notification: basis row r swapped in column `enter`
+  /// with pivot alpha_q = w[r]; `w` is the entering column's FTRAN
+  /// image, `tau` = B^-1 rho_r when needs_dual_tau() (else empty).
+  virtual void dual_update(int r, int enter, double alpha_q,
+                           const std::vector<double>& w,
+                           const std::vector<double>& tau) {
+    (void)r;
+    (void)enter;
+    (void)alpha_q;
+    (void)w;
+    (void)tau;
+  }
+
+  /// Exact-reset path: install a freshly recomputed row weight.
+  virtual void set_row_weight(int r, double weight) {
+    (void)r;
+    (void)weight;
+  }
+
+  /// The rule actually scoring each loop — kDse prices its primal loop
+  /// with Dantzig. Per-rule pivot telemetry attributes here.
+  [[nodiscard]] virtual PricingKind primal_rule() const { return kind(); }
+  [[nodiscard]] virtual PricingKind dual_rule() const { return kind(); }
+};
+
+/// Creates the rule for an (n_total columns, m rows) working form; eps
+/// is the simplex reduced-cost tolerance (Dantzig's score floor).
+[[nodiscard]] std::unique_ptr<PricingRule> make_pricing_rule(
+    PricingKind kind, int n_total, int m, double eps);
+
+}  // namespace wishbone::ilp

@@ -7,6 +7,25 @@
 
 namespace wishbone::ilp {
 
+const char* reentry_name(ReentryKind kind) {
+  switch (kind) {
+    case ReentryKind::kPhase1: return "phase1";
+    case ReentryKind::kDual: return "dual";
+  }
+  return "?";
+}
+
+const char* basis_reject_name(BasisRejectReason reason) {
+  switch (reason) {
+    case BasisRejectReason::kNone: return "none";
+    case BasisRejectReason::kShape: return "shape";
+    case BasisRejectReason::kStructure: return "structure";
+    case BasisRejectReason::kBoundsRevision: return "bounds_revision";
+    case BasisRejectReason::kSingular: return "singular";
+  }
+  return "?";
+}
+
 SimplexState::SimplexState(const LinearProgram& lp,
                            const SimplexOptions& opts)
     : opts_(opts), n_struct_(lp.num_variables()),
@@ -59,6 +78,7 @@ SimplexState::SimplexState(const LinearProgram& lp,
                 64, std::min<std::size_t>(512,
                                           static_cast<std::size_t>(m_) / 4));
   engine_ = make_basis_engine(opts_.engine, m_, bopts);
+  pricing_ = make_pricing_rule(opts_.pricing, n_total, m_, opts_.eps);
 
   reset();
 }
@@ -94,6 +114,9 @@ void SimplexState::reset() {
     in_basis_[n_struct_ + i] = i;
   }
   engine_->set_identity();  // the all-slack basis factorizes trivially
+  // All steepest-edge norms of the identity basis are exactly 1, so the
+  // plain (approximate) reset is the exact one here.
+  pricing_->reset_weights();
   candidates_.clear();
   recompute_basic_values();
   basics_dirty_ = false;
@@ -159,19 +182,28 @@ Basis SimplexState::extract_basis() const {
   return b;
 }
 
-bool Basis::compatible_with(const LinearProgram& lp) const {
+BasisRejectReason Basis::compatibility_with(const LinearProgram& lp) const {
   if (static_cast<int>(basic.size()) != lp.num_constraints() ||
       static_cast<int>(at_upper.size()) !=
           lp.num_variables() + lp.num_constraints()) {
-    return false;
+    return BasisRejectReason::kShape;
   }
-  return !stamped() || structure_hash == lp.structure_hash();
+  if (stamped() && structure_hash != lp.structure_hash()) {
+    return BasisRejectReason::kStructure;
+  }
+  return BasisRejectReason::kNone;
+}
+
+bool Basis::compatible_with(const LinearProgram& lp) const {
+  return compatibility_with(lp) == BasisRejectReason::kNone;
 }
 
 bool SimplexState::load_basis(const Basis& basis) {
+  last_load_reject_ = BasisRejectReason::kNone;
   const int n_total = n_struct_ + m_;
   if (static_cast<int>(basis.basic.size()) != m_ ||
       static_cast<int>(basis.at_upper.size()) != n_total) {
+    last_load_reject_ = BasisRejectReason::kShape;
     reset();
     return false;
   }
@@ -182,11 +214,22 @@ bool SimplexState::load_basis(const Basis& basis) {
   // but it installs garbage that phase 1 then grinds away from — the
   // stale-warm-basis bug this check turns into an explicit cold start.
   if (basis.stamped() && basis.structure_hash != structure_hash_) {
+    last_load_reject_ = BasisRejectReason::kStructure;
+    reset();
+    return false;
+  }
+  // Opt-in strict freshness: a stamped basis extracted against an older
+  // bound revision is rejected instead of re-snapped. Default-off — the
+  // re-snap is exactly what serve-layer stale-cache re-solves want.
+  if (opts_.reject_stale_bounds && basis.stamped() &&
+      basis.bounds_revision != synced_revision_) {
+    last_load_reject_ = BasisRejectReason::kBoundsRevision;
     reset();
     return false;
   }
   for (int v : basis.basic) {
     if (v < 0 || v >= n_total) {
+      last_load_reject_ = BasisRejectReason::kShape;
       reset();
       return false;
     }
@@ -195,6 +238,7 @@ bool SimplexState::load_basis(const Basis& basis) {
   in_basis_.assign(n_total, -1);
   for (int i = 0; i < m_; ++i) {
     if (in_basis_[basic_[i]] >= 0) {  // duplicate column
+      last_load_reject_ = BasisRejectReason::kShape;
       reset();
       return false;
     }
@@ -202,6 +246,7 @@ bool SimplexState::load_basis(const Basis& basis) {
   }
   for (int j = 0; j < n_total; ++j) at_upper_[j] = basis.at_upper[j] != 0;
   if (!refactorize()) {
+    last_load_reject_ = BasisRejectReason::kSingular;
     reset();
     return false;
   }
@@ -216,7 +261,41 @@ bool SimplexState::load_basis(const Basis& basis) {
 }
 
 bool SimplexState::refactorize() {
-  return engine_->factorize(cols_, basic_);
+  if (!engine_->factorize(cols_, basic_)) return false;
+  reset_pricing_weights();
+  return true;
+}
+
+void SimplexState::reset_pricing_weights() {
+  // Weights are functions of the *basis*, not the factorization, so a
+  // refactorization keeps them: devex weights live relative to their
+  // reference framework (the rule restarts the framework itself when a
+  // weight explodes), and dual steepest-edge row norms ||B^-T e_r||^2
+  // merely carry the accumulated drift of the Forrest-Goldfarb
+  // updates. exact_weight_reset spends m BTRAN-unit solves here to
+  // recompute the true DSE norms and discard that drift; the
+  // approximate default keeps the updated values as-is.
+  if (opts_.exact_weight_reset && pricing_->kind() == PricingKind::kDse) {
+    for (int r = 0; r < m_; ++r) {
+      engine_->btran_unit(r, rho_scratch_);
+      double nrm = 0.0;
+      for (double v : rho_scratch_) nrm += v * v;
+      pricing_->set_row_weight(r, nrm);
+    }
+  }
+}
+
+void SimplexState::count_pivot(bool dual) {
+  if (dual) {
+    ++tel_.dual_pivots;
+  } else {
+    ++tel_.primal_pivots;
+  }
+  switch (dual ? pricing_->dual_rule() : pricing_->primal_rule()) {
+    case PricingKind::kDantzig: ++tel_.pivots_dantzig; break;
+    case PricingKind::kDevex: ++tel_.pivots_devex; break;
+    case PricingKind::kDse: ++tel_.pivots_dse; break;
+  }
 }
 
 double SimplexState::phase1_cost(int var) const {
@@ -294,7 +373,7 @@ const std::vector<double>& SimplexState::reduced_costs() const {
   return reduced_costs_;
 }
 
-LpSolution SimplexState::solve() {
+LpSolution SimplexState::solve(double cutoff) {
   LpSolution sol;
   iters_ = 0;
   degenerate_run_ = 0;
@@ -303,6 +382,75 @@ LpSolution SimplexState::solve() {
     recompute_basic_values();
     basics_dirty_ = false;
   }
+
+  // Dual warm re-entry: bound edits leave reduced costs untouched, so
+  // a previously optimal basis is still dual-feasible and the dual
+  // simplex restores primal feasibility while *preserving* optimality —
+  // the textbook warm-start path for branch-and-bound children, where
+  // phase-1 repair discards the dual information and re-proves
+  // optimality from scratch. The phase-1/phase-2 loops below still run
+  // afterwards as the numerical safety net and the optimality proof
+  // (both are no-ops when the dual loop finished clean).
+  if (opts_.reentry == ReentryKind::kDual &&
+      total_infeasibility() > opts_.eps) {
+    if (dual_feasible()) {
+      ++tel_.dual_reentries;
+      sol.dual_reentry = true;
+      const std::size_t dual_start = iters_;
+      bool abandoned = false;
+      for (;;) {
+        const StepOutcome oc = dual_iterate();
+        if (oc == StepOutcome::kPivoted) {
+          // Early bound cutoff: dual-feasible iterates price a valid
+          // lower bound, and it only ever rises — past the caller's
+          // cutoff this node is pruned whatever the exact optimum. The
+          // slack absorbs the tolerance-level reduced-cost slips the
+          // Harris ratio test admits (the bound is exact only under
+          // exact dual feasibility), so a borderline node is never cut
+          // off on bound noise alone.
+          if (std::isfinite(cutoff)) {
+            const double slack =
+                10.0 * opts_.eps * (1.0 + std::fabs(cutoff));
+            double z = 0.0;
+            for (int j = 0; j < n_struct_; ++j) z += cost_[j] * x_[j];
+            if (z >= cutoff + slack) {
+              sol.iterations = iters_;
+              sol.dual_iterations = iters_ - dual_start;
+              sol.objective = z;
+              sol.status = SolveStatus::kCutoff;
+              return sol;
+            }
+          }
+          continue;
+        }
+        if (oc == StepOutcome::kNoDirection) break;  // primal feasible
+        if (oc == StepOutcome::kNumericalTrouble) {
+          abandoned = true;  // refactorized; phase 1 takes over
+          break;
+        }
+        sol.iterations = iters_;
+        sol.dual_iterations = iters_ - dual_start;
+        if (oc == StepOutcome::kUnbounded) {
+          // Dual unbounded along the violated row: no admissible
+          // entering column can absorb it — the primal is infeasible.
+          sol.status = SolveStatus::kInfeasible;
+        } else {
+          sol.status = SolveStatus::kIterationLimit;
+        }
+        return sol;
+      }
+      sol.dual_iterations = iters_ - dual_start;
+      if (abandoned) ++tel_.phase1_fallbacks;
+      degenerate_run_ = 0;
+      candidates_.clear();  // dual pivots staled the primal price list
+    } else {
+      // Not dual-feasible at entry (cost-perturbed or foreign basis):
+      // composite phase 1 is the only repair path.
+      ++tel_.phase1_fallbacks;
+    }
+  }
+  if (total_infeasibility() > opts_.eps) ++tel_.phase1_reentries;
+
   // Phase 1: drive basic-variable bound violations to zero, starting
   // from whatever basis this state currently holds (warm re-entry after
   // bound edits, an inherited basis, or the cold crash basis).
@@ -366,7 +514,11 @@ SimplexState::StepOutcome SimplexState::iterate(bool phase1) {
   const int n_total = n_struct_ + m_;
   int enter = -1;
   double enter_sigma = 0.0;
-  double best_score = -opts_.eps;
+  // Scores come from the pricing rule (smaller is better). Dantzig's
+  // floor is -eps — its |d| scores are commensurable with the
+  // reduced-cost tolerance — which keeps this loop bit-identical to
+  // the pre-PricingRule solver; weighted rules floor at 0.
+  double best_score = pricing_->score_floor();
 
   if (bland) {
     for (int j = 0; j < n_total; ++j) {
@@ -386,7 +538,7 @@ SimplexState::StepOutcome SimplexState::iterate(bool phase1) {
         const double d = reduced_cost_of(j, phase1, y);
         const double sigma = entering_sigma(j, d);
         if (sigma == 0.0) continue;
-        const double score = -std::fabs(d);
+        const double score = pricing_->score(j, d);
         if (score < best_score) {
           best_score = score;
           enter = j;
@@ -395,16 +547,16 @@ SimplexState::StepOutcome SimplexState::iterate(bool phase1) {
       }
     }
     if (enter == -1) {
-      // Full Dantzig scan; rebuild the candidate list from the runners-
+      // Full pricing scan; rebuild the candidate list from the runners-
       // up so the next pivots price only this short list.
       std::vector<std::pair<double, int>>& eligible = eligible_scratch_;
-      eligible.clear();  // (-|d|, j)
+      eligible.clear();  // (score, j)
       for (int j = 0; j < n_total; ++j) {
         if (in_basis_[j] >= 0 || lo_[j] == up_[j]) continue;
         const double d = reduced_cost_of(j, phase1, y);
         const double sigma = entering_sigma(j, d);
         if (sigma == 0.0) continue;
-        const double score = -std::fabs(d);
+        const double score = pricing_->score(j, d);
         if (score < best_score) {
           best_score = score;
           enter = j;
@@ -500,6 +652,7 @@ SimplexState::StepOutcome SimplexState::iterate(bool phase1) {
     at_upper_[enter] = !at_upper_[enter];
     // Snap exactly onto the bound to stop drift.
     x_[enter] = at_upper_[enter] ? up_[enter] : lo_[enter];
+    count_pivot(/*dual=*/false);
     return StepOutcome::kPivoted;
   }
 
@@ -511,6 +664,22 @@ SimplexState::StepOutcome SimplexState::iterate(bool phase1) {
   in_basis_[leaving] = -1;
   basic_[leave_row] = enter;
   in_basis_[enter] = leave_row;
+
+  if (pricing_->needs_pivot_row()) {
+    // Devex weight maintenance wants the pivot row restricted to the
+    // columns it will price again — the candidate list. Both rho and
+    // alpha_q = w[leave_row] are taken against the pre-update
+    // factorization (the engine absorbs the pivot just below).
+    engine_->btran_unit(leave_row, rho_scratch_);
+    alpha_scratch_.clear();
+    for (int j : candidates_) {
+      if (in_basis_[j] >= 0) continue;
+      double a = 0.0;
+      for (const auto& [row, coeff] : cols_[j]) a += rho_scratch_[row] * coeff;
+      if (a != 0.0) alpha_scratch_.emplace_back(j, a);
+    }
+    pricing_->primal_update(enter, leaving, w[leave_row], alpha_scratch_);
+  }
 
   // Absorb the pivot into the basis engine (dense: elementary row
   // update; LU: append an eta vector). The engine declines when its
@@ -531,7 +700,272 @@ SimplexState::StepOutcome SimplexState::iterate(bool phase1) {
     }
   }
 
+  count_pivot(/*dual=*/false);
   // Periodic refresh to contain floating-point drift.
+  if (iters_ % 512 == 0) recompute_basic_values();
+  return StepOutcome::kPivoted;
+}
+
+bool SimplexState::dual_feasible() {
+  // Every nonbasic reduced cost must carry the sign its bound status
+  // requires for a *minimization*: at-lower columns d >= 0 (raising
+  // them cannot improve), at-upper d <= 0, free columns d == 0 — all
+  // within the reduced-cost tolerance. Bound edits never change
+  // reduced costs, so a basis that last solved to optimality passes
+  // — *except* that replaying a different subtree's bound deltas can
+  // leave a boxed nonbasic parked at the wrong bound for its reduced
+  // cost (e.g. a variable fixed-then-unfixed along the chain). Those
+  // are not genuine dual infeasibilities: flipping the variable to its
+  // other finite bound restores the sign condition without touching
+  // the basis or the duals, so repair them here instead of punting the
+  // whole re-entry to phase 1. Only a free column (or one whose
+  // opposite bound is infinite) with a wrong-signed reduced cost
+  // forces the fallback.
+  compute_duals(/*phase1=*/false, y_scratch_);
+  const int n_total = n_struct_ + m_;
+  bool ok = true;
+  bool flipped = false;
+  for (int j = 0; j < n_total; ++j) {
+    if (in_basis_[j] >= 0 || lo_[j] == up_[j]) continue;
+    const double d = reduced_cost_of(j, /*phase1=*/false, y_scratch_);
+    const bool is_free = !std::isfinite(lo_[j]) && !std::isfinite(up_[j]);
+    if (is_free) {
+      if (std::fabs(d) > opts_.eps) ok = false;
+    } else if (at_upper_[j]) {
+      if (d > opts_.eps) {
+        if (!std::isfinite(lo_[j])) {
+          ok = false;
+        } else {
+          x_[j] = lo_[j];
+          at_upper_[j] = false;
+          flipped = true;
+        }
+      }
+    } else {
+      if (d < -opts_.eps) {
+        if (!std::isfinite(up_[j])) {
+          ok = false;
+        } else {
+          x_[j] = up_[j];
+          at_upper_[j] = true;
+          flipped = true;
+        }
+      }
+    }
+  }
+  // Flips move nonbasic values, so the basic values must be re-derived
+  // — also on the failure path, where phase 1 takes over from the
+  // (legal) flipped point.
+  if (flipped) recompute_basic_values();
+  return ok;
+}
+
+SimplexState::StepOutcome SimplexState::dual_iterate() {
+  if (iters_ >= opts_.max_iterations) return StepOutcome::kIterLimit;
+  ++iters_;
+
+  // --- Leaving row: the most attractive bound violation by the
+  // pricing rule's row score (Bland regime: smallest variable index,
+  // mirroring the primal anti-cycling guard).
+  const bool bland = degenerate_run_ >= 50;
+  int leave_row = -1;
+  double best_score = 0.0;
+  double dir = 0.0;  // +1: violated above upper; -1: below lower
+  for (int k = 0; k < m_; ++k) {
+    const int v = basic_[k];
+    const double above = x_[v] - up_[v];
+    const double below = lo_[v] - x_[v];
+    const double infeas = std::max(above, below);
+    if (infeas <= opts_.eps) continue;
+    if (bland) {
+      if (leave_row < 0 || v < basic_[leave_row]) {
+        leave_row = k;
+        dir = (above >= below) ? 1.0 : -1.0;
+      }
+    } else {
+      const double score = pricing_->row_score(k, infeas);
+      if (leave_row < 0 || score > best_score) {
+        best_score = score;
+        leave_row = k;
+        dir = (above >= below) ? 1.0 : -1.0;
+      }
+    }
+  }
+  if (leave_row < 0) return StepOutcome::kNoDirection;  // primal feasible
+
+  const int leaving = basic_[leave_row];
+  const double target = (dir > 0.0) ? up_[leaving] : lo_[leaving];
+
+  // --- Pivot row rho = B^-T e_r and current duals (for the ratio
+  // test's reduced costs).
+  engine_->btran_unit(leave_row, rho_scratch_);
+  compute_duals(/*phase1=*/false, y_scratch_);
+  const std::vector<double>& rho = rho_scratch_;
+  const std::vector<double>& y = y_scratch_;
+
+  // --- Dual ratio test. Orient the pivot row toward the violation:
+  // abar_j = dir * (rho . A_j). A nonbasic column is an admissible
+  // entering candidate when moving it off its bound pulls the leaving
+  // variable toward `target`: at-lower columns need abar > 0, at-upper
+  // abar < 0, free columns qualify either way. theta_j = d_j / abar_j
+  // (>= 0 under dual feasibility) is the dual step length at which
+  // column j's reduced cost crosses zero — the smallest theta keeps
+  // every other reduced cost sign-correct.
+  const int n_total = n_struct_ + m_;
+  dual_cands_.clear();
+  for (int j = 0; j < n_total; ++j) {
+    if (in_basis_[j] >= 0 || lo_[j] == up_[j]) continue;
+    double alpha = 0.0;
+    for (const auto& [row, coeff] : cols_[j]) alpha += rho[row] * coeff;
+    const double abar = dir * alpha;
+    if (std::fabs(abar) <= opts_.pivot_eps) continue;
+    const bool is_free = !std::isfinite(lo_[j]) && !std::isfinite(up_[j]);
+    if (!is_free && (at_upper_[j] ? (abar > 0.0) : (abar < 0.0))) continue;
+    const double d = reduced_cost_of(j, /*phase1=*/false, y);
+    DualCand c;
+    c.theta = std::max(d / abar, 0.0);  // clamp tolerance-level negatives
+    c.j = j;
+    c.abar = abar;
+    dual_cands_.push_back(c);
+  }
+  if (dual_cands_.empty()) {
+    // No column can absorb the violated row: the dual is unbounded
+    // along e_r, i.e. the primal is infeasible.
+    return StepOutcome::kUnbounded;
+  }
+  std::sort(dual_cands_.begin(), dual_cands_.end(),
+            [](const DualCand& a, const DualCand& b) {
+              if (a.theta != b.theta) return a.theta < b.theta;
+              return a.j < b.j;  // deterministic, Bland-style tie-break
+            });
+
+  // --- Bound-flip ratio test: a candidate whose whole span absorbs
+  // less violation than remains can jump to its other bound instead of
+  // entering; the dual step then passes its theta (its reduced cost
+  // changes sign, which the flip makes consistent) and the walk
+  // continues with the next candidate. Skipped in the Bland regime —
+  // flips are the kind of extra move the anti-cycling argument
+  // excludes.
+  double delta_rem = std::fabs(x_[leaving] - target);
+  flip_scratch_.clear();
+  std::size_t pick = 0;
+  if (!bland) {
+    while (pick + 1 < dual_cands_.size()) {
+      const DualCand& c = dual_cands_[pick];
+      const double span = up_[c.j] - lo_[c.j];
+      if (!std::isfinite(span)) break;
+      const double absorb = std::fabs(c.abar) * span;
+      if (absorb >= delta_rem - opts_.eps) break;
+      flip_scratch_.push_back(c.j);
+      delta_rem -= absorb;
+      ++pick;
+    }
+  }
+  // Harris two-pass ratio test over the remaining candidates. Pass 1:
+  // the largest dual step that keeps every reduced cost within the
+  // tolerance, theta_H = min_q (d_q + eps)/|abar_q| — a candidate with
+  // a tiny pivot element hardly constrains it. Pass 2: among the
+  // candidates whose own theta fits under theta_H, enter the one with
+  // the largest |abar|. The payoff on this massively degenerate model
+  // is the primal step t = infeas/alpha_q: the strict-minimum rule
+  // breaks its many theta ties by index and routinely lands on a
+  // near-pivot_eps element, whose huge t knocks a dozen other basics
+  // out of their bounds (measured ~12 follow-on violations per entry
+  // violation); maximizing |abar| keeps t small and the repair local.
+  // The tolerance-level reduced-cost slips this admits are exactly the
+  // ones dual_feasible() already tolerates, and later iterations clamp
+  // them to degenerate steps. Bland regime keeps the strict minimum
+  // for the anti-cycling argument.
+  std::size_t chosen_ix = pick;
+  if (!bland) {
+    double theta_h = kInf;
+    for (std::size_t q = pick; q < dual_cands_.size(); ++q) {
+      const double cap =
+          dual_cands_[q].theta + opts_.eps / std::fabs(dual_cands_[q].abar);
+      if (cap < theta_h) theta_h = cap;
+    }
+    double best_abar = 0.0;
+    for (std::size_t q = pick; q < dual_cands_.size(); ++q) {
+      if (dual_cands_[q].theta > theta_h) continue;
+      const double mag = std::fabs(dual_cands_[q].abar);
+      if (mag > best_abar) {
+        best_abar = mag;
+        chosen_ix = q;
+      }
+    }
+  }
+  const DualCand chosen = dual_cands_[chosen_ix];
+  const int enter = chosen.j;
+
+  if (!flip_scratch_.empty()) {
+    // Apply every flip with one accumulated FTRAN:
+    // x_B -= B^-1 (sum_j A_j dx_j).
+    rhs_scratch_.assign(m_, 0.0);
+    for (int j : flip_scratch_) {
+      const double nx = at_upper_[j] ? lo_[j] : up_[j];
+      const double dx = nx - x_[j];
+      at_upper_[j] = !at_upper_[j];
+      x_[j] = nx;
+      for (const auto& [row, coeff] : cols_[j]) {
+        rhs_scratch_[row] += coeff * dx;
+      }
+    }
+    engine_->ftran_dense(rhs_scratch_);
+    for (int i = 0; i < m_; ++i) x_[basic_[i]] -= rhs_scratch_[i];
+  }
+
+  // --- Entering direction w = B^-1 A_enter. Its leave_row entry must
+  // agree with the row-computed alpha (same sign, non-tiny): a
+  // disagreement means the factorization has drifted too far to trust
+  // this pivot — rebuild it and let the caller fall back to phase-1
+  // repair.
+  std::vector<double>& w = w_scratch_;
+  engine_->ftran(cols_[enter], w);
+  const double alpha_q = w[leave_row];
+  if (std::fabs(alpha_q) <= opts_.pivot_eps ||
+      alpha_q * (dir * chosen.abar) <= 0.0) {
+    if (!refactorize()) {
+      reset();
+      return StepOutcome::kIterLimit;
+    }
+    recompute_basic_values();
+    return StepOutcome::kNumericalTrouble;
+  }
+
+  degenerate_run_ = (chosen.theta <= opts_.eps && flip_scratch_.empty())
+                        ? degenerate_run_ + 1
+                        : 0;
+
+  // --- Pivot: move the entering column until the leaving variable
+  // lands exactly on its violated bound.
+  const double t = (x_[leaving] - target) / alpha_q;
+  x_[enter] += t;
+  for (int k = 0; k < m_; ++k) x_[basic_[k]] -= t * w[k];
+  x_[leaving] = target;  // snap exactly to stop drift
+  at_upper_[leaving] = (dir > 0.0);
+  in_basis_[leaving] = -1;
+  basic_[leave_row] = enter;
+  in_basis_[enter] = leave_row;
+
+  // Steepest-edge weight maintenance; tau = B^-1 rho against the
+  // pre-update factorization, only for rules that ask for it.
+  if (pricing_->needs_dual_tau()) {
+    tau_scratch_ = rho;
+    engine_->ftran_dense(tau_scratch_);
+    pricing_->dual_update(leave_row, enter, alpha_q, w, tau_scratch_);
+  } else {
+    pricing_->dual_update(leave_row, enter, alpha_q, w, empty_tau_);
+  }
+
+  if (!engine_->update(leave_row, w)) {
+    if (!refactorize()) {
+      // Same contract as the primal loop: a post-pivot singular
+      // factorization leaves only the cold reset as a coherent state.
+      reset();
+      return StepOutcome::kIterLimit;
+    }
+  }
+  count_pivot(/*dual=*/true);
   if (iters_ % 512 == 0) recompute_basic_values();
   return StepOutcome::kPivoted;
 }

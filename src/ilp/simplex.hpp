@@ -1,7 +1,9 @@
-// Bounded-variable revised primal Simplex over a pluggable basis
-// engine (ilp/basis_lu.hpp): an explicit dense inverse for small
-// bases, or a Markowitz sparse LU with eta-file updates for large
-// ones.
+// Bounded-variable revised Simplex — primal and dual — over a
+// pluggable basis engine (ilp/basis_lu.hpp): an explicit dense inverse
+// for small bases, or a Markowitz sparse LU with eta-file updates for
+// large ones. Pricing is pluggable too (ilp/pricing.hpp): Dantzig with
+// a candidate list (the tested reference), devex, and dual steepest
+// edge.
 //
 // This is the LP engine underneath branch and bound, standing in for
 // lp_solve's Simplex (§4.2.1 footnote 3). Integrality markers on the
@@ -25,11 +27,17 @@
 // Warm starts: `SimplexState` keeps the factorized basis alive between
 // solves. Variable bound changes never touch the constraint matrix, so
 // after `set_bounds` the basis inverse stays valid and the next solve()
-// re-enters phase 1 from the inherited basis — typically a handful of
-// pivots instead of a full cold start. A basis can also be extracted
-// and loaded across states for structurally identical models (the
-// refactorization path), which branch and bound and the rate search use
-// to chain closely related solves.
+// re-enters from the inherited basis — typically a handful of pivots
+// instead of a full cold start. Two re-entry modes exist: the default
+// (ReentryKind::kPhase1) repairs primal feasibility with the composite
+// phase-1 loop; ReentryKind::kDual notices that bound edits leave the
+// basis *dual*-feasible (reduced costs do not depend on bounds) and
+// runs the dual simplex instead, which restores primal feasibility
+// while preserving optimality — usually far fewer pivots on the
+// one-bound-changed child LPs of branch and bound. A basis can also be
+// extracted and loaded across states for structurally identical models
+// (the refactorization path), which branch and bound and the rate
+// search use to chain closely related solves.
 #pragma once
 
 #include <cstddef>
@@ -39,6 +47,7 @@
 
 #include "ilp/basis_lu.hpp"
 #include "ilp/model.hpp"
+#include "ilp/pricing.hpp"
 
 namespace wishbone::ilp {
 
@@ -47,13 +56,58 @@ enum class SolveStatus {
   kInfeasible,
   kUnbounded,
   kIterationLimit,
+  /// Dual-simplex early exit: the objective — a valid lower bound while
+  /// the basis stays dual feasible — crossed the caller's cutoff, so
+  /// the caller will discard (prune) this solve's node no matter where
+  /// the optimum lands. Only produced when solve() is given a finite
+  /// cutoff under ReentryKind::kDual; x is not primal feasible.
+  kCutoff,
 };
+
+/// How solve() restores primal feasibility after bound edits.
+enum class ReentryKind {
+  kPhase1,  ///< composite phase-1 repair (the legacy default path)
+  kDual,    ///< dual simplex from the (still dual-feasible) basis;
+            ///< falls back to phase 1 when dual feasibility fails
+};
+
+[[nodiscard]] const char* reentry_name(ReentryKind kind);
+
+/// Why load_basis rejected (or would reject) an inherited basis.
+enum class BasisRejectReason {
+  kNone,            ///< not rejected
+  kShape,           ///< dimension mismatch or malformed basic set
+  kStructure,       ///< stamped structure hash differs from the target
+  kBoundsRevision,  ///< stale bounds stamp (opt-in strict check)
+  kSingular,        ///< refactorization of the loaded basis failed
+};
+
+[[nodiscard]] const char* basis_reject_name(BasisRejectReason reason);
 
 struct LpSolution {
   SolveStatus status = SolveStatus::kIterationLimit;
   double objective = 0.0;
   std::vector<double> x;  ///< structural variable values (model order)
   std::size_t iterations = 0;
+  std::size_t dual_iterations = 0;  ///< of `iterations`, dual-loop ones
+  bool dual_reentry = false;  ///< this solve re-entered via dual simplex
+};
+
+/// Cumulative re-entry / pivot telemetry of one SimplexState (across
+/// solves, like BasisEngineStats). A "re-entry" is a solve() that began
+/// primal-infeasible — a warm start whose bound edits broke feasibility
+/// or a cold crash basis needing repair.
+struct SimplexTelemetry {
+  std::size_t dual_reentries = 0;    ///< repaired by the dual simplex
+  std::size_t phase1_reentries = 0;  ///< repaired by composite phase 1
+  /// Dual-mode solves that had to fall back to phase 1: the basis was
+  /// not dual-feasible at entry, or the dual loop hit numerical trouble.
+  std::size_t phase1_fallbacks = 0;
+  std::size_t primal_pivots = 0;     ///< phase-1/2 pivots + bound flips
+  std::size_t dual_pivots = 0;       ///< dual-loop pivots
+  std::size_t pivots_dantzig = 0;    ///< pivots attributed per rule
+  std::size_t pivots_devex = 0;
+  std::size_t pivots_dse = 0;
 };
 
 struct SimplexOptions {
@@ -74,6 +128,27 @@ struct SimplexOptions {
   /// factorization better on large sparse bases, where each eta is
   /// cheap to apply but a factorization costs a full elimination).
   std::size_t refactor_interval = 0;
+  /// Warm re-entry mode after bound edits. kPhase1 keeps the solver
+  /// walk bit-identical to the pre-PR 10 engine; kDual re-enters via
+  /// the dual simplex when the basis is dual-feasible (the usual case
+  /// for branch-and-bound children) and falls back to phase 1 when not.
+  ReentryKind reentry = ReentryKind::kPhase1;
+  /// Pricing rule; kDantzig is the bit-identical reference.
+  PricingKind pricing = PricingKind::kDantzig;
+  /// Dual steepest-edge weight policy at refactorization: false keeps
+  /// the Forrest-Goldfarb-updated row weights (cheap, approximate —
+  /// they carry accumulated drift); true recomputes the exact norms
+  /// ||B^-T e_r||^2 at m BTRAN-unit solves per refactorization. Only
+  /// meaningful under PricingKind::kDse; devex weights always survive
+  /// refactorization (the rule restarts its own reference framework
+  /// when a weight explodes).
+  bool exact_weight_reset = false;
+  /// Strict load_basis: reject a stamped basis whose bounds_revision
+  /// differs from this state's synced revision (reported as
+  /// BasisRejectReason::kBoundsRevision). Off by default — the legacy
+  /// behavior re-snaps nonbasic variables onto the current bounds,
+  /// which serve-layer stale-cache re-solves rely on.
+  bool reject_stale_bounds = false;
 };
 
 /// A restorable snapshot of a simplex basis: the variable occupying
@@ -115,6 +190,12 @@ struct Basis {
   /// the rate search, the partition server) run before paying for a
   /// SimplexState + refactorization.
   [[nodiscard]] bool compatible_with(const LinearProgram& lp) const;
+
+  /// Same pre-flight check, but reporting *why* loading would fail
+  /// (kShape / kStructure) instead of a bare bool — the serve cache
+  /// breaks its warm_basis_rejected counter out by this reason.
+  [[nodiscard]] BasisRejectReason compatibility_with(
+      const LinearProgram& lp) const;
 };
 
 /// Persistent, re-enterable simplex working state over one model shape.
@@ -145,10 +226,20 @@ class SimplexState {
   [[nodiscard]] int num_structural() const { return n_struct_; }
   [[nodiscard]] int num_rows() const { return m_; }
 
-  /// Optimizes from the current basis (warm). Phase 1 repairs any
-  /// primal infeasibility introduced by bound edits, then phase 2
-  /// minimizes the true objective.
-  [[nodiscard]] LpSolution solve();
+  /// Optimizes from the current basis (warm). Under ReentryKind::kDual
+  /// a dual-feasible basis is repaired by the dual simplex (phase-1
+  /// fallback otherwise); then phase 1 repairs any remaining primal
+  /// infeasibility and phase 2 minimizes the true objective.
+  ///
+  /// `cutoff`: while the dual loop runs, the objective is a valid,
+  /// monotonically nondecreasing lower bound on this LP's optimum —
+  /// once it reaches `cutoff` the solve stops with kCutoff instead of
+  /// grinding to feasibility (branch-and-bound prunes such nodes
+  /// regardless of the exact optimum; LP-infeasible nodes, whose bound
+  /// diverges, are cut off long before the dual-unbounded proof
+  /// completes). kInf (the default) never triggers, and the phase-1
+  /// path ignores the cutoff entirely — its iterates carry no bound.
+  [[nodiscard]] LpSolution solve(double cutoff = kInf);
 
   /// Discards the basis and returns to the cold-start crash basis (all
   /// slacks basic, structural variables at their preferred bound).
@@ -159,8 +250,15 @@ class SimplexState {
 
   /// Installs an inherited basis and refactorizes the basis inverse.
   /// On shape mismatch or a singular basis the state falls back to the
-  /// cold-start basis and returns false.
+  /// cold-start basis and returns false; last_load_reject() then says
+  /// why.
   bool load_basis(const Basis& basis);
+
+  /// Why the most recent load_basis call rejected its basis (kNone
+  /// after a successful load or before any load).
+  [[nodiscard]] BasisRejectReason last_load_reject() const {
+    return last_load_reject_;
+  }
 
   /// Reduced costs of the structural variables (model order) for the
   /// current basis (meaningful after a solve() that returned kOptimal);
@@ -177,9 +275,23 @@ class SimplexState {
   [[nodiscard]] const BasisEngineStats& basis_stats() const {
     return engine_->stats();
   }
+  /// Cumulative re-entry / per-rule pivot telemetry (across solves).
+  [[nodiscard]] const SimplexTelemetry& telemetry() const { return tel_; }
 
  private:
-  enum class StepOutcome { kPivoted, kNoDirection, kUnbounded, kIterLimit };
+  enum class StepOutcome {
+    kPivoted,
+    kNoDirection,
+    kUnbounded,
+    kIterLimit,
+    kNumericalTrouble,  ///< dual loop: factorization drift, bail out
+  };
+
+  struct DualCand {
+    double theta = 0.0;  ///< dual ratio d_j / abar_j
+    int j = -1;          ///< nonbasic column
+    double abar = 0.0;   ///< oriented pivot-row entry
+  };
 
   [[nodiscard]] double phase1_cost(int var) const;
   [[nodiscard]] double total_infeasibility() const;
@@ -191,7 +303,19 @@ class SimplexState {
   /// the column cannot improve the current phase objective.
   [[nodiscard]] double entering_sigma(int j, double d) const;
   StepOutcome iterate(bool phase1);
+  /// One dual simplex pivot (leaving row by pricing-rule row score,
+  /// entering column by the bound-flipping dual ratio test). Returns
+  /// kNoDirection when primal-feasible, kUnbounded when the dual is
+  /// unbounded (primal infeasible), kNumericalTrouble when the
+  /// row/column pivot values disagree and the caller should fall back
+  /// to phase-1 repair.
+  StepOutcome dual_iterate();
+  /// True when every nonbasic reduced cost has the sign its bound
+  /// status requires — the dual-simplex entry condition.
+  [[nodiscard]] bool dual_feasible();
   bool refactorize();
+  void reset_pricing_weights();
+  void count_pivot(bool dual);
   void snap_nonbasic(int j);
 
   const SimplexOptions opts_;
@@ -208,16 +332,27 @@ class SimplexState {
   std::vector<double> x_;
   std::unique_ptr<BasisEngine> engine_;
 
+  std::unique_ptr<PricingRule> pricing_;
+  SimplexTelemetry tel_;
+
   std::vector<int> candidates_;          ///< partial-pricing list
   mutable std::vector<double> reduced_costs_;  ///< lazy, per basis
   mutable std::vector<double> y_scratch_;      ///< dual scratch (size m)
   std::vector<double> w_scratch_;        ///< pivot-direction scratch
   std::vector<std::pair<double, int>> eligible_scratch_;  ///< pricing
+  std::vector<double> rho_scratch_;      ///< dual pivot row B^-T e_r
+  std::vector<double> tau_scratch_;      ///< B^-1 rho (DSE update)
+  std::vector<double> rhs_scratch_;      ///< batched bound-flip rhs
+  std::vector<DualCand> dual_cands_;     ///< dual ratio-test candidates
+  std::vector<int> flip_scratch_;        ///< columns flipped this pivot
+  std::vector<std::pair<int, double>> alpha_scratch_;  ///< devex alphas
+  const std::vector<double> empty_tau_;  ///< for rules without tau
 
   bool basics_dirty_ = false;  ///< bound edits invalidated basic values
   mutable bool reduced_costs_valid_ = false;
   std::uint64_t synced_revision_ = 0;  ///< model bound revision mirrored
   bool bounds_diverged_ = false;  ///< state bounds edited past the model
+  BasisRejectReason last_load_reject_ = BasisRejectReason::kNone;
   std::size_t iters_ = 0;      ///< iterations of the current solve()
   int degenerate_run_ = 0;
 };

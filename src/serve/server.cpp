@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "ilp/simplex.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/graph_hash.hpp"
@@ -24,6 +25,10 @@ struct ServeMetrics {
   obs::Counter* stale_resolves;
   obs::Counter* warm_basis_used;
   obs::Counter* warm_basis_rejected;
+  /// warm_basis_rejected broken out by ilp::BasisRejectReason, indexed
+  /// by the enum value (kNone unused — a loaded basis increments
+  /// nothing here). The unlabeled counter above stays the total.
+  obs::Counter* warm_basis_rejected_by[5];
   obs::Counter* rejected;
   obs::Counter* shutdown_flushed;
   obs::Counter* submit_timeouts;
@@ -43,6 +48,14 @@ struct ServeMetrics {
       x.stale_resolves = r.counter("wishbone_serve_stale_resolves");
       x.warm_basis_used = r.counter("wishbone_serve_warm_basis_used");
       x.warm_basis_rejected = r.counter("wishbone_serve_warm_basis_rejected");
+      x.warm_basis_rejected_by[0] = nullptr;
+      for (int reason = 1; reason <= 4; ++reason) {
+        x.warm_basis_rejected_by[reason] =
+            r.counter("wishbone_serve_warm_basis_rejected",
+                      {{"reason", ilp::basis_reject_name(
+                                      static_cast<ilp::BasisRejectReason>(
+                                          reason))}});
+      }
       x.rejected = r.counter("wishbone_serve_rejected");
       x.shutdown_flushed = r.counter("wishbone_serve_shutdown_flushed");
       x.submit_timeouts = r.counter("wishbone_serve_submit_timeouts");
@@ -198,6 +211,13 @@ std::optional<std::future<SolveResponse>> PartitionServer::submit_impl(
     if (it != inflight_.end()) {
       ++stats_.coalesced;
       m.coalesced->inc();
+      // Follower submits leave a zero-duration serve.coalesced marker on
+      // the *leader's* trace, so a sampled trace shows how many requests
+      // piled onto the in-flight solve and when each one attached.
+      if (it->second->trace.sampled()) {
+        tracer.record_span("serve.coalesced", it->second->trace,
+                           tracer.now_ns(), 0);
+      }
       Batch::Waiter w;
       w.promise = std::move(done);
       w.deadline = deadline;
@@ -348,6 +368,11 @@ bool PartitionServer::run_one() {
   if (batch->outcome == CacheOutcome::kStale) m.stale_resolves->inc();
   if (result->solver.warm_basis_loaded) m.warm_basis_used->inc();
   if (result->solver.warm_basis_rejected) m.warm_basis_rejected->inc();
+  {
+    const auto reason =
+        static_cast<int>(result->solver.warm_basis_reject_reason);
+    if (reason > 0 && reason <= 4) m.warm_basis_rejected_by[reason]->inc();
+  }
 
   SolveResponse proto;
   proto.result = std::move(result);

@@ -189,6 +189,127 @@ TEST(LpDifferential, WarmReentryChainsAgree) {
   }
 }
 
+// ---------------- re-entry x pricing cross product (PR 10 dual engine)
+
+namespace {
+
+SimplexOptions cfg_opts(BasisEngineKind engine, ReentryKind reentry,
+                        PricingKind pricing) {
+  SimplexOptions o = engine_opts(engine);
+  o.reentry = reentry;
+  o.pricing = pricing;
+  return o;
+}
+
+std::string cfg_label(BasisEngineKind engine, ReentryKind reentry,
+                      PricingKind pricing) {
+  return std::string(engine_name(engine)) + "/" + reentry_name(reentry) +
+         "/" + pricing_name(pricing);
+}
+
+constexpr BasisEngineKind kEngines[] = {BasisEngineKind::kDense,
+                                        BasisEngineKind::kLu};
+constexpr ReentryKind kReentries[] = {ReentryKind::kPhase1,
+                                      ReentryKind::kDual};
+constexpr PricingKind kPricings[] = {PricingKind::kDantzig,
+                                     PricingKind::kDevex, PricingKind::kDse};
+
+}  // namespace
+
+TEST(LpDifferential, ReentryPricingCrossProductAgrees) {
+  // Every (engine, re-entry, pricing) configuration is the same solver:
+  // different pivot walks, identical answers. The dense/phase1/dantzig
+  // configuration (the PR 1 reference walk) is the oracle.
+  const int trials = std::max(diff_trials() / 8, 25);
+  for (int t = 0; t < trials; ++t) {
+    const std::uint32_t seed = 50000u + static_cast<std::uint32_t>(t);
+    const LinearProgram lp = gen_partition_shaped(seed, /*integral=*/false);
+    const LpSolution ref = SimplexSolver().solve(
+        lp, cfg_opts(BasisEngineKind::kDense, ReentryKind::kPhase1,
+                     PricingKind::kDantzig));
+    for (BasisEngineKind engine : kEngines) {
+      for (ReentryKind reentry : kReentries) {
+        for (PricingKind pricing : kPricings) {
+          const std::string label =
+              cfg_label(engine, reentry, pricing) +
+              " seed=" + std::to_string(seed);
+          const LpSolution got =
+              SimplexSolver().solve(lp, cfg_opts(engine, reentry, pricing));
+          ASSERT_EQ(got.status, ref.status)
+              << label << "\nref: " << describe(ref)
+              << "\ngot: " << describe(got) << "\n" << lp.to_text();
+          if (ref.status != SolveStatus::kOptimal) continue;
+          const double tol = 1e-6 * std::max(1.0, std::fabs(ref.objective));
+          EXPECT_NEAR(got.objective, ref.objective, tol) << label;
+          EXPECT_LE(lp.max_violation(got.x), 1e-5)
+              << label << ": infeasible point";
+        }
+      }
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(LpDifferential, DualReentryChainsMatchPhaseOne) {
+  // The branch-and-bound edit pattern under the dual path: persistent
+  // states re-solving through chains of variable fixings. The dense
+  // phase-1/dantzig state is the oracle; each dual-path configuration
+  // must agree on status and objective after every edit. Aggregate
+  // telemetry proves the dual loop actually handled the re-entries
+  // instead of silently punting everything to phase 1.
+  const int chains = std::max(diff_trials() / 8, 15);
+  std::size_t dual_reentries = 0, fallbacks = 0;
+  std::mt19937 rng(0xD0A1);
+  for (int t = 0; t < chains; ++t) {
+    const std::uint32_t seed = 60000u + static_cast<std::uint32_t>(t);
+    const LinearProgram base = gen_partition_shaped(seed, false);
+    SimplexState oracle(base, cfg_opts(BasisEngineKind::kDense,
+                                       ReentryKind::kPhase1,
+                                       PricingKind::kDantzig));
+    std::vector<SimplexState> duals;
+    duals.reserve(6);
+    for (BasisEngineKind engine : kEngines) {
+      for (PricingKind pricing : kPricings) {
+        duals.emplace_back(base,
+                           cfg_opts(engine, ReentryKind::kDual, pricing));
+      }
+    }
+    const int n = base.num_variables();
+    for (int step = 0; step < 5; ++step) {
+      const int v = static_cast<int>(rng() % static_cast<unsigned>(n));
+      const double b = (rng() % 2) ? 1.0 : 0.0;
+      oracle.set_bounds(v, b, b);
+      for (auto& s : duals) s.set_bounds(v, b, b);
+
+      const LpSolution ref = oracle.solve();
+      for (std::size_t k = 0; k < duals.size(); ++k) {
+        const LpSolution got = duals[k].solve();
+        ASSERT_EQ(got.status, ref.status)
+            << "seed=" << seed << " step=" << step << " cfg=" << k
+            << "\nref: " << describe(ref) << "\ngot: " << describe(got);
+        if (ref.status != SolveStatus::kOptimal) continue;
+        const double tol = 1e-6 * std::max(1.0, std::fabs(ref.objective));
+        EXPECT_NEAR(got.objective, ref.objective, tol)
+            << "seed=" << seed << " step=" << step << " cfg=" << k;
+      }
+      if (ref.status != SolveStatus::kOptimal) break;
+    }
+    for (const auto& s : duals) {
+      dual_reentries += s.telemetry().dual_reentries;
+      fallbacks += s.telemetry().phase1_fallbacks;
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_GT(dual_reentries, 0u)
+      << "no chain ever exercised the dual re-entry path";
+  // Boxed-variable fixings keep the basis dual-feasible (wrong-bound
+  // nonbasics are repaired by bound flips), so fallbacks should be a
+  // rare numerical-trouble event, not the norm.
+  EXPECT_LE(fallbacks, dual_reentries / 10 + 1)
+      << fallbacks << " phase-1 fallbacks vs " << dual_reentries
+      << " dual re-entries";
+}
+
 // ----------------------------- medium instances (real eta/refactor use)
 
 TEST(LpDifferential, MediumSparseLpsExerciseRefactorization) {

@@ -268,6 +268,58 @@ TEST(ObsMetrics, PrometheusExportShape) {
   EXPECT_NE(text.find("wishbone_test_seconds_count 3\n"), std::string::npos);
 }
 
+TEST(ObsMetrics, BnbReentryAndPivotCountersExport) {
+  // A dual-path solve must leave the per-mode re-entry and per-rule
+  // pivot counters registered on the global registry, with valid
+  // Prometheus label syntax (check_obs_export.py gates the same lines
+  // out of the serve bench's full-registry dump).
+  const auto p = wbtest::random_problem(7);
+  partition::PartitionOptions opts;
+  opts.mip.lp.reentry = ilp::ReentryKind::kDual;
+  opts.mip.lp.pricing = ilp::PricingKind::kDevex;
+  const auto r = partition::solve_partition(p, opts);
+  ASSERT_TRUE(r.feasible);
+
+  const std::string text = obs::Registry::global().prometheus_text();
+  for (const char* needle :
+       {"wishbone_bnb_reentries_total{mode=\"dual\"}",
+        "wishbone_bnb_reentries_total{mode=\"phase1\"}",
+        "wishbone_bnb_phase1_fallbacks_total",
+        "wishbone_bnb_pivots_total{rule=\"dantzig\"}",
+        "wishbone_bnb_pivots_total{rule=\"devex\"}",
+        "wishbone_bnb_pivots_total{rule=\"dse\"}"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+  // The devex dual solve must actually have recorded pivots under its
+  // rule's label.
+  EXPECT_GT(r.solver.lp_iterations, 0u);
+}
+
+TEST(ObsMetrics, ServeWarmBasisRejectReasonCountersExport) {
+  // One serve solve registers the reason-labeled reject breakdown
+  // (kNone excluded: a loaded basis increments nothing).
+  serve::ServeOptions so;
+  so.workers = 0;
+  serve::PartitionServer server(so);
+  auto fut = server.submit([] {
+    serve::SolveRequest req;
+    req.problem = wbtest::random_problem(3);
+    req.platform_id = "obs_reject_probe";
+    return req;
+  }());
+  ASSERT_TRUE(server.run_one());
+  ASSERT_TRUE(fut.get().result->feasible);
+
+  const std::string text = obs::Registry::global().prometheus_text();
+  for (const char* needle :
+       {"wishbone_serve_warm_basis_rejected_total{reason=\"shape\"}",
+        "wishbone_serve_warm_basis_rejected_total{reason=\"structure\"}",
+        "wishbone_serve_warm_basis_rejected_total{reason=\"bounds_revision\"}",
+        "wishbone_serve_warm_basis_rejected_total{reason=\"singular\"}"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
 TEST(ObsMetrics, JsonExportIsWellFormed) {
   obs::Registry reg;
   reg.counter("a_total")->inc();
@@ -550,6 +602,56 @@ TEST(ObsServeTrace, SubmitProducesOneConnectedTrace) {
   EXPECT_TRUE(json_balanced(tef));
   EXPECT_NE(tef.find("\"name\":\"serve.submit\""), std::string::npos);
   EXPECT_NE(tef.find("\"name\":\"basis.load\""), std::string::npos);
+
+  tracer.disable();
+  tracer.clear();
+}
+
+TEST(ObsServeTrace, CoalescedFollowerMarksLeaderTrace) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.enable(/*sample_every_n=*/1);
+
+  serve::ServeOptions so;
+  so.workers = 0;  // pump mode: nothing solves until run_one
+  serve::PartitionServer server(so);
+  const auto p = wbtest::random_problem(5);
+
+  // Leader enqueues; two identical submits pile onto its in-flight
+  // batch before the pump runs it.
+  auto lead = server.submit(obs_request(p));
+  auto follow1 = server.submit(obs_request(p));
+  auto follow2 = server.submit(obs_request(p));
+  ASSERT_TRUE(server.run_one());
+  ASSERT_TRUE(lead.get().result->feasible);
+  EXPECT_EQ(follow1.get().source, serve::ResponseSource::kCoalesced);
+  EXPECT_EQ(follow2.get().source, serve::ResponseSource::kCoalesced);
+
+  const auto spans = tracer.collect();
+  std::vector<std::uint64_t> roots;
+  for (const auto& s : spans) {
+    if (std::string(s.name) == "serve.submit") roots.push_back(s.trace_id);
+  }
+  // Every submit opens its own root span (followers included — their
+  // submit is real work even when the solve is shared); the leader's is
+  // the first.
+  ASSERT_EQ(roots.size(), 3u);
+  const obs::SpanRecord* submit = find_span(spans, roots[0], "serve.submit");
+  ASSERT_NE(submit, nullptr);
+
+  // The *leader's* trace carries one zero-duration serve.coalesced
+  // marker per follower, parented on the leader's submit span, so a
+  // sampled trace shows how many requests piled onto the in-flight
+  // solve and when each one attached.
+  std::size_t markers = 0;
+  for (const auto& s : spans) {
+    if (std::string(s.name) != "serve.coalesced") continue;
+    ++markers;
+    EXPECT_EQ(s.trace_id, roots[0]);
+    EXPECT_EQ(s.parent_id, submit->span_id);
+    EXPECT_EQ(s.dur_ns, 0u);
+  }
+  EXPECT_EQ(markers, 2u);
 
   tracer.disable();
   tracer.clear();

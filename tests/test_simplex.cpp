@@ -167,3 +167,243 @@ TEST_P(SimplexRandom, OptimalBeatsRandomFeasiblePoints) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandom,
                          ::testing::Range(1, 13));
+
+// ---------------------------------------------------------------------------
+// Dual warm re-entry (ReentryKind::kDual)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// The classic two-variable LP above (max 3x+5y; optimum x=2, y=6).
+LinearProgram classic_lp() {
+  LinearProgram lp;
+  const int x = lp.add_variable("x", 0.0, kInf, -3.0, false);
+  const int y = lp.add_variable("y", 0.0, kInf, -5.0, false);
+  lp.add_constraint(make({{x, 1.0}}, Relation::kLe, 4.0));
+  lp.add_constraint(make({{y, 2.0}}, Relation::kLe, 12.0));
+  lp.add_constraint(make({{x, 3.0}, {y, 2.0}}, Relation::kLe, 18.0));
+  return lp;
+}
+
+}  // namespace
+
+TEST(SimplexDual, ReentryAfterBoundTightenMatchesPhaseOne) {
+  const LinearProgram lp = classic_lp();
+
+  SimplexOptions dual_opts;
+  dual_opts.reentry = ReentryKind::kDual;
+  SimplexState dual_state(lp, dual_opts);
+  const auto cold = dual_state.solve();
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(cold.objective, -36.0, 1e-6);
+  // The crash basis (origin, slacks basic) is primal feasible here, so
+  // the cold solve is not a re-entry of any kind.
+  EXPECT_EQ(dual_state.telemetry().dual_reentries, 0u);
+  EXPECT_EQ(dual_state.telemetry().phase1_reentries, 0u);
+
+  // Tighten y's upper bound below its basic value (6): the basis is now
+  // primal infeasible but still dual feasible -> dual re-entry.
+  dual_state.set_bounds(1, 0.0, 4.0);
+  const auto warm = dual_state.solve();
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(warm.dual_reentry);
+  EXPECT_GT(warm.dual_iterations, 0u);
+  EXPECT_EQ(dual_state.telemetry().dual_reentries, 1u);
+  EXPECT_EQ(dual_state.telemetry().phase1_fallbacks, 0u);
+
+  // The phase-1 path over the same edit must agree on the optimum.
+  SimplexState p1_state(lp, SimplexOptions{});
+  ASSERT_EQ(p1_state.solve().status, SolveStatus::kOptimal);
+  p1_state.set_bounds(1, 0.0, 4.0);
+  const auto p1 = p1_state.solve();
+  ASSERT_EQ(p1.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(p1.dual_reentry);
+  EXPECT_NEAR(warm.objective, p1.objective, 1e-6);
+  EXPECT_NEAR(warm.objective, -30.0, 1e-6);  // x=10/3, y=4
+}
+
+TEST(SimplexDual, RatioTestSurvivesDegenerateTies) {
+  // Six scaled copies of x+y<=4 meet at the optimal vertex, so the dual
+  // ratio test after the bound edit sees a wall of tied candidates.
+  LinearProgram lp;
+  const int x = lp.add_variable("x", 0.0, kInf, -1.0, false);
+  const int y = lp.add_variable("y", 0.0, kInf, -1.0, false);
+  for (int k = 1; k <= 6; ++k) {
+    lp.add_constraint(
+        make({{x, static_cast<double>(k)}, {y, static_cast<double>(k)}},
+             Relation::kLe, 4.0 * k));
+  }
+  SimplexOptions opts;
+  opts.reentry = ReentryKind::kDual;
+  SimplexState state(lp, opts);
+  ASSERT_EQ(state.solve().status, SolveStatus::kOptimal);
+
+  state.set_bounds(x, 0.0, 1.0);
+  state.set_bounds(y, 0.0, 2.0);
+  const auto sol = state.solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -3.0, 1e-6);  // x=1, y=2
+  EXPECT_EQ(state.telemetry().phase1_fallbacks, 0u);
+}
+
+TEST(SimplexDual, ReentryDetectsInfeasibleViaDualUnbounded) {
+  // x+y >= 3 with generous boxes, then shrink both boxes so the row can
+  // no longer be satisfied. The dual loop must prove primal
+  // infeasibility (dual unboundedness), not spin or mislabel it.
+  LinearProgram lp;
+  const int x = lp.add_variable("x", 0.0, 2.0, 1.0, false);
+  const int y = lp.add_variable("y", 0.0, 2.0, 1.0, false);
+  lp.add_constraint(make({{x, 1.0}, {y, 1.0}}, Relation::kGe, 3.0));
+  SimplexOptions opts;
+  opts.reentry = ReentryKind::kDual;
+  SimplexState state(lp, opts);
+  const auto first = state.solve();
+  ASSERT_EQ(first.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(first.objective, 3.0, 1e-6);
+
+  state.set_bounds(x, 0.0, 1.0);
+  state.set_bounds(y, 0.0, 1.0);
+  EXPECT_EQ(state.solve().status, SolveStatus::kInfeasible);
+  EXPECT_EQ(state.telemetry().phase1_fallbacks, 0u);
+}
+
+TEST(SimplexDual, CutoffStopsDualLoopEarly) {
+  const LinearProgram lp = classic_lp();
+  SimplexOptions opts;
+  opts.reentry = ReentryKind::kDual;
+  SimplexState state(lp, opts);
+  ASSERT_EQ(state.solve().status, SolveStatus::kOptimal);
+
+  // After the edit the optimum rises from -36 to -30; a cutoff of -34
+  // lies strictly between, so the dual loop's monotone lower bound must
+  // cross it and report kCutoff instead of finishing the re-solve.
+  state.set_bounds(1, 0.0, 4.0);
+  const auto cut = state.solve(-34.0);
+  ASSERT_EQ(cut.status, SolveStatus::kCutoff);
+  EXPECT_GE(cut.objective, -34.0 - 1e-5);
+
+  // kCutoff leaves the state mid-repair; a later un-cutoff solve must
+  // still recover the true optimum.
+  const auto full = state.solve();
+  ASSERT_EQ(full.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(full.objective, -30.0, 1e-6);
+}
+
+TEST(SimplexDual, FreeVariableWithCostFallsBackToPhaseOne) {
+  // A free variable with nonzero cost makes the crash basis dual
+  // infeasible (no finite bound to flip to), so the dual re-entry must
+  // punt to phase 1 and still solve the LP.
+  LinearProgram lp;
+  const int f = lp.add_variable("f", -kInf, kInf, 1.0, false);
+  lp.add_constraint(make({{f, 1.0}}, Relation::kGe, 3.0));
+  SimplexOptions opts;
+  opts.reentry = ReentryKind::kDual;
+  SimplexState state(lp, opts);
+  const auto sol = state.solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 3.0, 1e-6);
+  EXPECT_FALSE(sol.dual_reentry);
+  EXPECT_GE(state.telemetry().phase1_fallbacks, 1u);
+  EXPECT_EQ(state.telemetry().dual_reentries, 0u);
+}
+
+TEST(SimplexDual, WrongBoundBoxedNonbasicIsRepairedByFlip) {
+  // Bound edits can park a boxed nonbasic at the bound whose reduced-
+  // cost sign is wrong for dual feasibility. That must be repaired by a
+  // bound flip inside the dual entry check, not punted to phase 1 —
+  // this is the branch-and-bound child-solve common case.
+  LinearProgram lp;
+  const int x = lp.add_variable("x", 0.0, 5.0, -1.0, false);
+  const int y = lp.add_variable("y", 0.0, 5.0, -2.0, false);
+  lp.add_constraint(make({{x, 1.0}, {y, 1.0}}, Relation::kLe, 6.0));
+  SimplexOptions opts;
+  opts.reentry = ReentryKind::kDual;
+  SimplexState state(lp, opts);
+  ASSERT_EQ(state.solve().status, SolveStatus::kOptimal);
+
+  // Fix x near its upper bound and shrink y: whichever variable ends up
+  // nonbasic-at-the-wrong-bound, the re-solve must stay on the dual
+  // path with zero fallbacks.
+  state.set_bounds(x, 4.0, 5.0);
+  state.set_bounds(y, 0.0, 1.0);
+  const auto sol = state.solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_EQ(state.telemetry().phase1_fallbacks, 0u);
+  EXPECT_NEAR(sol.objective, -7.0, 1e-6);  // x=5, y=1
+}
+
+// ---------------------------------------------------------------------------
+// load_basis reject reasons
+// ---------------------------------------------------------------------------
+
+TEST(BasisReject, ShapeMismatchReported) {
+  const LinearProgram lp = classic_lp();
+  SimplexState src(lp, SimplexOptions{});
+  ASSERT_EQ(src.solve().status, SolveStatus::kOptimal);
+  const Basis b = src.extract_basis();
+
+  LinearProgram other;  // 1 variable, 1 row: different shape entirely
+  const int x = other.add_variable("x", 0.0, 10.0, 1.0, false);
+  other.add_constraint(make({{x, 1.0}}, Relation::kGe, 3.0));
+  EXPECT_EQ(b.compatibility_with(other), BasisRejectReason::kShape);
+  EXPECT_FALSE(b.compatible_with(other));
+
+  SimplexState dst(other, SimplexOptions{});
+  EXPECT_FALSE(dst.load_basis(b));
+  EXPECT_EQ(dst.last_load_reject(), BasisRejectReason::kShape);
+  // The failed load must leave a solvable cold-start state behind.
+  EXPECT_EQ(dst.solve().status, SolveStatus::kOptimal);
+}
+
+TEST(BasisReject, StructureMismatchReported) {
+  // Same shape (2 variables, 1 row), different sparsity pattern.
+  LinearProgram lp_a;
+  {
+    const int x = lp_a.add_variable("x", 0.0, 4.0, -1.0, false);
+    const int y = lp_a.add_variable("y", 0.0, 4.0, -1.0, false);
+    lp_a.add_constraint(make({{x, 1.0}, {y, 1.0}}, Relation::kLe, 5.0));
+  }
+  LinearProgram lp_b;
+  {
+    const int x = lp_b.add_variable("x", 0.0, 4.0, -1.0, false);
+    (void)lp_b.add_variable("y", 0.0, 4.0, -1.0, false);
+    lp_b.add_constraint(make({{x, 1.0}}, Relation::kLe, 5.0));
+  }
+  SimplexState src(lp_a, SimplexOptions{});
+  ASSERT_EQ(src.solve().status, SolveStatus::kOptimal);
+  const Basis b = src.extract_basis();
+  ASSERT_TRUE(b.stamped());
+
+  EXPECT_EQ(b.compatibility_with(lp_a), BasisRejectReason::kNone);
+  EXPECT_EQ(b.compatibility_with(lp_b), BasisRejectReason::kStructure);
+
+  SimplexState dst(lp_b, SimplexOptions{});
+  EXPECT_FALSE(dst.load_basis(b));
+  EXPECT_EQ(dst.last_load_reject(), BasisRejectReason::kStructure);
+  EXPECT_EQ(dst.solve().status, SolveStatus::kOptimal);
+}
+
+TEST(BasisReject, StaleBoundsRevisionIsOptIn) {
+  LinearProgram lp = classic_lp();
+  SimplexState src(lp, SimplexOptions{});
+  ASSERT_EQ(src.solve().status, SolveStatus::kOptimal);
+  const Basis b = src.extract_basis();
+
+  // Bump the model's bound revision after extraction.
+  lp.set_bounds(0, 0.0, 3.0);
+
+  // Default behavior: the stale basis loads and nonbasics re-snap onto
+  // the current bounds (the serve-layer stale-cache contract).
+  SimplexState lenient(lp, SimplexOptions{});
+  EXPECT_TRUE(lenient.load_basis(b));
+  EXPECT_EQ(lenient.last_load_reject(), BasisRejectReason::kNone);
+  EXPECT_EQ(lenient.solve().status, SolveStatus::kOptimal);
+
+  // Opt-in strict mode rejects the same basis by revision.
+  SimplexOptions strict;
+  strict.reject_stale_bounds = true;
+  SimplexState picky(lp, strict);
+  EXPECT_FALSE(picky.load_basis(b));
+  EXPECT_EQ(picky.last_load_reject(), BasisRejectReason::kBoundsRevision);
+  EXPECT_EQ(picky.solve().status, SolveStatus::kOptimal);
+}
